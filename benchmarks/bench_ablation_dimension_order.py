@@ -1,0 +1,88 @@
+"""Ablation A1 — the dimension-order heuristic (paper footnote 2).
+
+"Heuristically, dimensions can be sorted in the cardinality ascending
+order, so that more sharing is likely achieved at the upper part of the
+tree.  However, there is no guarantee this order will minimize the tree
+size."  This ablation quantifies the heuristic: build the QC-tree of the
+same data under cardinality-ascending, cardinality-descending, and the
+given order, and compare node counts and bytes.  (The class count is
+order-invariant — only prefix sharing changes.)
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from common import print_table, timed
+from repro.core.construct import build_qctree
+from repro.data.synthetic import zipf_table
+from repro.data.weather import weather_table
+from repro.storage import qctree_bytes
+
+DATASETS = {
+    "zipf_mixed_cards": lambda: zipf_table(
+        3000, 5, [4, 12, 40, 90, 200], seed=2
+    ),
+    "weather_like": lambda: weather_table(2000, scale=0.01, seed=2, n_dims=6),
+}
+
+ORDERS = ["given", "card_ascending", "card_descending"]
+
+
+def _ordered_table(table, order):
+    cards = table.cardinalities()
+    if order == "given":
+        return table
+    indices = sorted(range(table.n_dims), key=lambda j: cards[j])
+    if order == "card_descending":
+        indices = list(reversed(indices))
+    return table.reordered(indices)
+
+
+@lru_cache(maxsize=None)
+def _build(dataset, order):
+    table = _ordered_table(DATASETS[dataset](), order)
+    tree, seconds = timed(build_qctree, table, "count")
+    return tree, seconds
+
+
+@pytest.mark.parametrize("dataset", sorted(DATASETS))
+@pytest.mark.parametrize("order", ORDERS)
+def test_a1_build(benchmark, dataset, order):
+    table = _ordered_table(DATASETS[dataset](), order)
+    benchmark.pedantic(
+        build_qctree, args=(table, "count"), rounds=1, iterations=1
+    )
+
+
+def test_a1_report(benchmark):
+    def make():
+        rows = []
+        for dataset in sorted(DATASETS):
+            class_counts = set()
+            for order in ORDERS:
+                tree, seconds = _build(dataset, order)
+                class_counts.add(tree.n_classes)
+                rows.append(
+                    [
+                        dataset,
+                        order,
+                        tree.n_nodes,
+                        tree.n_links,
+                        tree.n_classes,
+                        qctree_bytes(tree),
+                        seconds,
+                    ]
+                )
+            # The quotient cube is order-independent; only the tree varies.
+            assert len(class_counts) == 1, dataset
+        print_table(
+            "Ablation A1: dimension order vs QC-tree size",
+            ["dataset", "order", "nodes", "links", "classes", "bytes",
+             "build_s"],
+            rows,
+            result_file="ablation_a1.txt",
+        )
+        return rows
+
+    benchmark.pedantic(make, rounds=1, iterations=1)

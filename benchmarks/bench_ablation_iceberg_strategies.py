@@ -1,0 +1,87 @@
+"""Ablation A2 — constrained-iceberg strategies (§4.3).
+
+The paper offers two plans for range + iceberg queries and leaves the
+choice open: (1) answer the range query and filter by the threshold, or
+(2) mark the satisfying class nodes via the measure index and process the
+range query on the retained part of the tree.  This ablation sweeps the
+threshold selectivity: marking should win when few classes qualify (the
+retained structure is tiny) and lose its edge as the threshold admits
+everything.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from common import print_table, synth, timed
+from repro.core.construct import build_qctree
+from repro.core.iceberg import MeasureIndex, constrained_iceberg, pure_iceberg
+from repro.data.workloads import iceberg_thresholds, range_query_workload
+
+N_ROWS = 4000
+QUANTILES = (0.5, 0.9, 0.99)
+N_QUERIES = 60
+
+
+@lru_cache(maxsize=None)
+def _setup():
+    table = synth(n_rows=N_ROWS)
+    tree = build_qctree(table, "count")
+    index = MeasureIndex(tree)
+    values = [tree.value_at(n) for n in tree.iter_class_nodes()]
+    thresholds = iceberg_thresholds(values, QUANTILES)
+    queries = range_query_workload(table, N_QUERIES, seed=21,
+                                   values_per_range=3)
+    return tree, index, thresholds, queries
+
+
+def _run(strategy, threshold):
+    tree, index, _, queries = _setup()
+    total = 0
+    for spec in queries:
+        total += len(
+            constrained_iceberg(
+                tree, spec, threshold, strategy=strategy, index=index
+            )
+        )
+    return total
+
+
+@pytest.mark.parametrize("quantile", QUANTILES)
+@pytest.mark.parametrize("strategy", ["filter", "mark"])
+def test_a2_strategies(benchmark, strategy, quantile):
+    tree, index, thresholds, _ = _setup()
+    threshold = thresholds[QUANTILES.index(quantile)]
+    benchmark(_run, strategy, threshold)
+
+
+def test_a2_pure_iceberg_via_index(benchmark):
+    tree, index, thresholds, _ = _setup()
+
+    def run():
+        return len(pure_iceberg(tree, thresholds[1], index=index))
+
+    assert benchmark(run) > 0
+
+
+def test_a2_report(benchmark):
+    def make():
+        tree, index, thresholds, _ = _setup()
+        rows = []
+        for quantile, threshold in zip(QUANTILES, thresholds):
+            filter_total, t_filter = timed(_run, "filter", threshold)
+            mark_total, t_mark = timed(_run, "mark", threshold)
+            assert filter_total == mark_total  # strategies must agree
+            rows.append(
+                [quantile, threshold, filter_total, t_filter, t_mark]
+            )
+        print_table(
+            f"Ablation A2: constrained iceberg strategies "
+            f"({N_QUERIES} range queries)",
+            ["quantile", "threshold", "matches", "filter_s", "mark_s"],
+            rows,
+            result_file="ablation_a2.txt",
+        )
+        return rows
+
+    benchmark.pedantic(make, rounds=1, iterations=1)

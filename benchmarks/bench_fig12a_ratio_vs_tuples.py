@@ -1,0 +1,58 @@
+"""Figure 12(a) — compression ratio vs number of base-table tuples.
+
+Paper setup: Zipf(2) synthetic data; sizes of Dwarf, QC-table, and QC-tree
+reported as a percentage of the full data cube (computed by BUC) while the
+tuple count grows.  Expected shape: all three methods are *insensitive* to
+the tuple count, with QC-tree ≤ QC-table and both comfortably below 100%.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from common import print_series, synth
+from repro.storage import compression_report
+
+TUPLE_SWEEP = [1000, 2000, 4000, 8000, 16000]
+
+
+@lru_cache(maxsize=None)
+def _report(n_rows):
+    return compression_report(synth(n_rows=n_rows), "count")
+
+
+@pytest.mark.parametrize("n_rows", TUPLE_SWEEP)
+def test_fig12a_build_all_structures(benchmark, n_rows):
+    """Build cube count + QC-table + QC-tree + Dwarf at one sweep point."""
+    table = synth(n_rows=n_rows)
+    benchmark.pedantic(
+        compression_report, args=(table, "count"), rounds=1, iterations=1
+    )
+
+
+def test_fig12a_report(benchmark):
+    """Regenerate the figure's series and persist it to results/."""
+
+    def make():
+        series = {
+            "dwarf_pct": [_report(n)["dwarf_ratio_pct"] for n in TUPLE_SWEEP],
+            "qc_table_pct": [
+                _report(n)["qc_table_ratio_pct"] for n in TUPLE_SWEEP
+            ],
+            "qctree_pct": [
+                _report(n)["qctree_ratio_pct"] for n in TUPLE_SWEEP
+            ],
+        }
+        print_series(
+            "Figure 12(a): compression ratio (% of full cube) vs #tuples",
+            "n_tuples",
+            TUPLE_SWEEP,
+            series,
+            result_file="fig12a.txt",
+        )
+        return series
+
+    series = benchmark.pedantic(make, rounds=1, iterations=1)
+    # Shape assertions: quotient structures compress at every sweep point.
+    assert all(pct < 100.0 for pct in series["qc_table_pct"])
+    assert all(pct < 100.0 for pct in series["qctree_pct"])

@@ -1,0 +1,52 @@
+"""Figure 12(b) — compression ratio vs dimension cardinality.
+
+Paper setup: Zipf(2) synthetic data at a fixed tuple count while the
+per-dimension cardinality grows.  Expected shape: ratios are largely
+insensitive to cardinality; only at very low cardinality (dense cubes,
+nearly one cell per class) can Dwarf edge out the quotient structures.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from common import print_series, synth
+from repro.storage import compression_report
+
+CARD_SWEEP = [10, 20, 40, 80, 160]
+N_ROWS = 4000
+
+
+@lru_cache(maxsize=None)
+def _report(card):
+    return compression_report(synth(n_rows=N_ROWS, card=card), "count")
+
+
+@pytest.mark.parametrize("card", CARD_SWEEP)
+def test_fig12b_build_all_structures(benchmark, card):
+    table = synth(n_rows=N_ROWS, card=card)
+    benchmark.pedantic(
+        compression_report, args=(table, "count"), rounds=1, iterations=1
+    )
+
+
+def test_fig12b_report(benchmark):
+    def make():
+        series = {
+            "dwarf_pct": [_report(c)["dwarf_ratio_pct"] for c in CARD_SWEEP],
+            "qc_table_pct": [
+                _report(c)["qc_table_ratio_pct"] for c in CARD_SWEEP
+            ],
+            "qctree_pct": [_report(c)["qctree_ratio_pct"] for c in CARD_SWEEP],
+        }
+        print_series(
+            "Figure 12(b): compression ratio (% of full cube) vs cardinality",
+            "cardinality",
+            CARD_SWEEP,
+            series,
+            result_file="fig12b.txt",
+        )
+        return series
+
+    series = benchmark.pedantic(make, rounds=1, iterations=1)
+    assert all(pct < 100.0 for pct in series["qctree_pct"])

@@ -1,0 +1,54 @@
+"""Figure 12(c) — compression ratio vs number of dimensions.
+
+Paper setup: fixed tuple count while dimensionality grows.  Expected
+shape: "the higher the dimensionality, the better the compression ratio"
+— the data gets sparser, classes absorb more cells, and all three
+structures shrink relative to the exploding full cube.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from common import print_series, synth
+from repro.storage import compression_report
+
+DIM_SWEEP = [2, 3, 4, 5, 6, 7]
+N_ROWS = 3000
+
+
+@lru_cache(maxsize=None)
+def _report(n_dims):
+    return compression_report(synth(n_rows=N_ROWS, n_dims=n_dims), "count")
+
+
+@pytest.mark.parametrize("n_dims", DIM_SWEEP)
+def test_fig12c_build_all_structures(benchmark, n_dims):
+    table = synth(n_rows=N_ROWS, n_dims=n_dims)
+    benchmark.pedantic(
+        compression_report, args=(table, "count"), rounds=1, iterations=1
+    )
+
+
+def test_fig12c_report(benchmark):
+    def make():
+        series = {
+            "dwarf_pct": [_report(d)["dwarf_ratio_pct"] for d in DIM_SWEEP],
+            "qc_table_pct": [
+                _report(d)["qc_table_ratio_pct"] for d in DIM_SWEEP
+            ],
+            "qctree_pct": [_report(d)["qctree_ratio_pct"] for d in DIM_SWEEP],
+        }
+        print_series(
+            "Figure 12(c): compression ratio (% of full cube) vs #dimensions",
+            "n_dims",
+            DIM_SWEEP,
+            series,
+            result_file="fig12c.txt",
+        )
+        return series
+
+    series = benchmark.pedantic(make, rounds=1, iterations=1)
+    # The paper's headline trend: higher dimensionality compresses better.
+    assert series["qctree_pct"][-1] < series["qctree_pct"][0]
+    assert series["qc_table_pct"][-1] < series["qc_table_pct"][0]

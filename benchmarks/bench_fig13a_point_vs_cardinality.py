@@ -1,0 +1,117 @@
+"""Figure 13(a) — point-query time vs cardinality (synthetic data).
+
+Paper setup: 1,000 random point queries per configuration.  Expected
+shape: growing cardinality degrades Dwarf (whose nodes hold one cell per
+value, so lookups touch bigger nodes and always walk one node per
+dimension) while the QC-tree is insensitive (a query touches one
+root-to-class path and skips ``*``/forced dimensions entirely).
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from common import print_series, synth, timed
+from repro.core.construct import build_qctree
+from repro.core.point_query import point_query
+from repro.data.workloads import point_query_workload
+from repro.core.cells import ALL
+from repro.core.point_query import locate
+from repro.dwarf.build import build_dwarf
+from repro.dwarf.query import dwarf_point_query
+
+CARD_SWEEP = [10, 20, 40, 80, 160]
+N_ROWS = 4000
+N_QUERIES = 1000
+
+
+@lru_cache(maxsize=None)
+def _setup(card):
+    table = synth(n_rows=N_ROWS, card=card)
+    return (
+        build_qctree(table, "count"),
+        build_dwarf(table, "count"),
+        point_query_workload(table, N_QUERIES, seed=7),
+    )
+
+
+def _run_qctree(card):
+    tree, _, queries = _setup(card)
+    return sum(1 for q in queries if point_query(tree, q) is not None)
+
+
+def _run_dwarf(card):
+    _, dwarf, queries = _setup(card)
+    return sum(1 for q in queries if dwarf_point_query(dwarf, q) is not None)
+
+
+@pytest.mark.parametrize("card", CARD_SWEEP)
+def test_fig13a_qctree(benchmark, card):
+    _setup(card)  # build outside the timed region
+    hits = benchmark(_run_qctree, card)
+    assert hits > 0
+
+
+@pytest.mark.parametrize("card", CARD_SWEEP)
+def test_fig13a_dwarf(benchmark, card):
+    _setup(card)
+    hits = benchmark(_run_dwarf, card)
+    assert hits > 0
+
+
+def _dwarf_accesses(dwarf, cell):
+    """Node visits of a Dwarf point query (n per hit, fewer on a miss)."""
+    if dwarf.root is None:
+        return 0
+    visits = 0
+    current = dwarf.root
+    for level, value in enumerate(cell):
+        node = dwarf.node(current)
+        visits += 1
+        nxt = node.all_cell if value is ALL else node.cells.get(value)
+        if nxt is None:
+            return visits
+        if level == dwarf.n_dims - 1:
+            return visits
+        current = nxt
+    return visits
+
+
+def _mean_accesses(card):
+    tree, dwarf, queries = _setup(card)
+    tree_counter = [0]
+    for q in queries:
+        locate(tree, q, counter=tree_counter)
+    dwarf_total = sum(_dwarf_accesses(dwarf, q) for q in queries)
+    return tree_counter[0] / len(queries), dwarf_total / len(queries)
+
+
+def test_fig13a_report(benchmark):
+    def make():
+        series = {"qctree_s": [], "dwarf_s": [],
+                  "qctree_accesses": [], "dwarf_accesses": []}
+        for card in CARD_SWEEP:
+            _setup(card)
+            _, t_tree = timed(_run_qctree, card)
+            _, t_dwarf = timed(_run_dwarf, card)
+            series["qctree_s"].append(t_tree)
+            series["dwarf_s"].append(t_dwarf)
+            tree_acc, dwarf_acc = _mean_accesses(card)
+            series["qctree_accesses"].append(tree_acc)
+            series["dwarf_accesses"].append(dwarf_acc)
+        print_series(
+            f"Figure 13(a): {N_QUERIES} point queries vs cardinality "
+            f"(time and mean node accesses per query)",
+            "cardinality",
+            CARD_SWEEP,
+            series,
+            result_file="fig13a.txt",
+        )
+        return series
+
+    series = benchmark.pedantic(make, rounds=1, iterations=1)
+    # The paper's mechanism: a QC-tree query touches fewer nodes than
+    # Dwarf's one-node-per-dimension walk, at every cardinality.
+    for tree_acc, dwarf_acc in zip(series["qctree_accesses"],
+                                   series["dwarf_accesses"]):
+        assert tree_acc < dwarf_acc

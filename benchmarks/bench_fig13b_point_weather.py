@@ -1,0 +1,107 @@
+"""Figure 13(b) — point-query time on the weather-like dataset.
+
+Paper setup: 1,000 random point queries on the (real) weather data; we
+run them on the correlated weather-like substitute across growing
+dimensionality.  Expected shape: QC-tree at or below Dwarf throughout —
+correlations force many dimensions, which QC-tree paths skip but Dwarf
+must traverse.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from common import print_series, timed, weather
+from repro.core.construct import build_qctree
+from repro.core.point_query import point_query
+from repro.data.workloads import point_query_workload
+from repro.core.cells import ALL
+from repro.core.point_query import locate
+from repro.dwarf.build import build_dwarf
+from repro.dwarf.query import dwarf_point_query
+
+DIM_SWEEP = [3, 5, 7, 9]
+N_ROWS = 2500
+N_QUERIES = 1000
+
+
+@lru_cache(maxsize=None)
+def _setup(n_dims):
+    table = weather(n_rows=N_ROWS, n_dims=n_dims)
+    return (
+        build_qctree(table, "count"),
+        build_dwarf(table, "count"),
+        point_query_workload(table, N_QUERIES, seed=3),
+    )
+
+
+def _run_qctree(n_dims):
+    tree, _, queries = _setup(n_dims)
+    return sum(1 for q in queries if point_query(tree, q) is not None)
+
+
+def _run_dwarf(n_dims):
+    _, dwarf, queries = _setup(n_dims)
+    return sum(1 for q in queries if dwarf_point_query(dwarf, q) is not None)
+
+
+@pytest.mark.parametrize("n_dims", DIM_SWEEP)
+def test_fig13b_qctree(benchmark, n_dims):
+    _setup(n_dims)
+    assert benchmark(_run_qctree, n_dims) > 0
+
+
+@pytest.mark.parametrize("n_dims", DIM_SWEEP)
+def test_fig13b_dwarf(benchmark, n_dims):
+    _setup(n_dims)
+    assert benchmark(_run_dwarf, n_dims) > 0
+
+
+def _dwarf_accesses(dwarf, cell):
+    if dwarf.root is None:
+        return 0
+    visits = 0
+    current = dwarf.root
+    for level, value in enumerate(cell):
+        node = dwarf.node(current)
+        visits += 1
+        nxt = node.all_cell if value is ALL else node.cells.get(value)
+        if nxt is None:
+            return visits
+        if level == dwarf.n_dims - 1:
+            return visits
+        current = nxt
+    return visits
+
+
+def test_fig13b_report(benchmark):
+    def make():
+        series = {"qctree_s": [], "dwarf_s": [],
+                  "qctree_accesses": [], "dwarf_accesses": []}
+        for n_dims in DIM_SWEEP:
+            tree, dwarf, queries = _setup(n_dims)
+            _, t_tree = timed(_run_qctree, n_dims)
+            _, t_dwarf = timed(_run_dwarf, n_dims)
+            series["qctree_s"].append(t_tree)
+            series["dwarf_s"].append(t_dwarf)
+            counter = [0]
+            for q in queries:
+                locate(tree, q, counter=counter)
+            series["qctree_accesses"].append(counter[0] / len(queries))
+            series["dwarf_accesses"].append(
+                sum(_dwarf_accesses(dwarf, q) for q in queries) / len(queries)
+            )
+        print_series(
+            f"Figure 13(b): {N_QUERIES} point queries, weather data "
+            f"(time and mean node accesses per query)",
+            "n_dims",
+            DIM_SWEEP,
+            series,
+            result_file="fig13b.txt",
+        )
+        return series
+
+    series = benchmark.pedantic(make, rounds=1, iterations=1)
+    # Correlated data widens the access gap: closure-forced dimensions
+    # are free on a QC-tree path but cost Dwarf one node each.
+    assert series["qctree_accesses"][-1] < series["dwarf_accesses"][-1]

@@ -1,0 +1,79 @@
+"""Figure 13(c) — range-query time on synthetic data.
+
+Paper setup: 100 random range queries with 1–3 range dimensions of 3
+values each (worst case 27 point queries per range).  Both methods prune
+shared prefixes during a single traversal; the QC-tree additionally
+skips forced dimensions.  We also time the naive expand-to-point-queries
+plan that Algorithm 4 improves on.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from common import print_series, synth, timed
+from repro.core.construct import build_qctree
+from repro.core.range_query import range_query, range_query_naive
+from repro.data.workloads import range_query_workload
+from repro.dwarf.build import build_dwarf
+from repro.dwarf.query import dwarf_range_query
+
+CARD_SWEEP = [10, 20, 40, 80]
+N_ROWS = 4000
+N_QUERIES = 100
+
+
+@lru_cache(maxsize=None)
+def _setup(card):
+    table = synth(n_rows=N_ROWS, card=card)
+    return (
+        build_qctree(table, "count"),
+        build_dwarf(table, "count"),
+        range_query_workload(table, N_QUERIES, seed=5, values_per_range=3),
+    )
+
+
+def _run(card, which):
+    tree, dwarf, queries = _setup(card)
+    total = 0
+    for spec in queries:
+        if which == "qctree":
+            total += len(range_query(tree, spec))
+        elif which == "dwarf":
+            total += len(dwarf_range_query(dwarf, spec))
+        else:
+            total += len(range_query_naive(tree, spec))
+    return total
+
+
+@pytest.mark.parametrize("card", CARD_SWEEP)
+@pytest.mark.parametrize("which", ["qctree", "dwarf", "naive_points"])
+def test_fig13c_range(benchmark, which, card):
+    _setup(card)
+    benchmark(_run, card, which)
+
+
+def test_fig13c_report(benchmark):
+    def make():
+        series = {"qctree_s": [], "dwarf_s": [], "naive_points_s": []}
+        for card in CARD_SWEEP:
+            _setup(card)
+            for which, key in (
+                ("qctree", "qctree_s"),
+                ("dwarf", "dwarf_s"),
+                ("naive_points", "naive_points_s"),
+            ):
+                _, seconds = timed(_run, card, which)
+                series[key].append(seconds)
+        print_series(
+            f"Figure 13(c): {N_QUERIES} range queries (s) vs cardinality",
+            "cardinality",
+            CARD_SWEEP,
+            series,
+            result_file="fig13c.txt",
+        )
+        return series
+
+    series = benchmark.pedantic(make, rounds=1, iterations=1)
+    # Answers agree between methods on every workload (spot shape check).
+    assert _run(CARD_SWEEP[0], "qctree") == _run(CARD_SWEEP[0], "dwarf")

@@ -1,0 +1,75 @@
+"""Figure 13(d) — range-query time on the weather-like dataset.
+
+Paper setup: 100 range queries with 1–3 range dimensions, each range
+spanning the dimension's *entire* cardinality (so ranges are much wider
+than the synthetic case).  Expected shape: both methods stay scalable;
+QC-tree at or below Dwarf.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from common import print_series, timed, weather
+from repro.core.construct import build_qctree
+from repro.core.range_query import range_query
+from repro.data.workloads import range_query_workload
+from repro.dwarf.build import build_dwarf
+from repro.dwarf.query import dwarf_range_query
+
+DIM_SWEEP = [3, 5, 7]
+N_ROWS = 2000
+N_QUERIES = 100
+
+
+@lru_cache(maxsize=None)
+def _setup(n_dims):
+    table = weather(n_rows=N_ROWS, n_dims=n_dims)
+    queries = range_query_workload(
+        table, N_QUERIES, seed=9, values_per_range="full"
+    )
+    return (
+        build_qctree(table, "count"),
+        build_dwarf(table, "count"),
+        queries,
+    )
+
+
+def _run(n_dims, which):
+    tree, dwarf, queries = _setup(n_dims)
+    total = 0
+    for spec in queries:
+        if which == "qctree":
+            total += len(range_query(tree, spec))
+        else:
+            total += len(dwarf_range_query(dwarf, spec))
+    return total
+
+
+@pytest.mark.parametrize("n_dims", DIM_SWEEP)
+@pytest.mark.parametrize("which", ["qctree", "dwarf"])
+def test_fig13d_range(benchmark, which, n_dims):
+    _setup(n_dims)
+    benchmark(_run, n_dims, which)
+
+
+def test_fig13d_report(benchmark):
+    def make():
+        series = {"qctree_s": [], "dwarf_s": []}
+        for n_dims in DIM_SWEEP:
+            _setup(n_dims)
+            _, t_tree = timed(_run, n_dims, "qctree")
+            _, t_dwarf = timed(_run, n_dims, "dwarf")
+            series["qctree_s"].append(t_tree)
+            series["dwarf_s"].append(t_dwarf)
+        print_series(
+            f"Figure 13(d): {N_QUERIES} full-width range queries (s), weather",
+            "n_dims",
+            DIM_SWEEP,
+            series,
+            result_file="fig13d.txt",
+        )
+        return series
+
+    series = benchmark.pedantic(make, rounds=1, iterations=1)
+    assert _run(DIM_SWEEP[0], "qctree") == _run(DIM_SWEEP[0], "dwarf")

@@ -1,0 +1,105 @@
+"""Figure 14(b) — incremental maintenance vs recompute, weather-like data.
+
+Same protocol as Figure 14(a) on the correlated weather-like dataset:
+fresh readings arrive as daily batches; compare recompute, tuple-by-tuple
+insertion, and batch insertion.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from common import print_series, timed
+from repro.core.construct import build_qctree
+from repro.core.maintenance.insert import batch_insert, insert_one_by_one
+from repro.data.weather import weather_table
+
+BASE_ROWS = 30000
+N_DIMS = 7
+SCALE = 0.1
+DELTA_SWEEP = [50, 100, 200, 400]
+ONE_BY_ONE_CAP = 50
+
+
+@lru_cache(maxsize=None)
+def _base():
+    table = weather_table(BASE_ROWS, scale=SCALE, seed=0, n_dims=N_DIMS)
+    tree = build_qctree(table, "count")
+    return table, tree
+
+
+@lru_cache(maxsize=None)
+def _delta(n_delta):
+    table, _ = _base()
+    fresh = weather_table(n_delta, scale=SCALE, seed=55, n_dims=N_DIMS)
+    records = list(fresh.iter_records())
+    new_table, delta_table = table.extended(records)
+    return records, new_table, delta_table
+
+
+def _run_recompute(n_delta):
+    _, new_table, _ = _delta(n_delta)
+    return build_qctree(new_table, "count")
+
+
+def _run_batch(n_delta):
+    _, tree = _base()
+    _, new_table, delta_table = _delta(n_delta)
+    work = tree.copy()
+    batch_insert(work, new_table, delta_table)
+    return work
+
+
+def _run_one_by_one(n_delta):
+    table, tree = _base()
+    records, _, _ = _delta(n_delta)
+    work = tree.copy()
+    insert_one_by_one(work, table, records)
+    return work
+
+
+@pytest.mark.parametrize("n_delta", DELTA_SWEEP)
+def test_fig14b_recompute(benchmark, n_delta):
+    _delta(n_delta)
+    benchmark.pedantic(_run_recompute, args=(n_delta,), rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("n_delta", DELTA_SWEEP)
+def test_fig14b_batch_insert(benchmark, n_delta):
+    _delta(n_delta)
+    benchmark.pedantic(_run_batch, args=(n_delta,), rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("n_delta", [d for d in DELTA_SWEEP if d <= ONE_BY_ONE_CAP])
+def test_fig14b_one_by_one(benchmark, n_delta):
+    _delta(n_delta)
+    benchmark.pedantic(
+        _run_one_by_one, args=(n_delta,), rounds=1, iterations=1
+    )
+
+
+def test_fig14b_report(benchmark):
+    def make():
+        series = {"recompute_s": [], "batch_s": [], "one_by_one_s": []}
+        for n_delta in DELTA_SWEEP:
+            recomputed, t_re = timed(_run_recompute, n_delta)
+            batch_tree, t_batch = timed(_run_batch, n_delta)
+            assert batch_tree.equivalent_to(recomputed)
+            series["recompute_s"].append(t_re)
+            series["batch_s"].append(t_batch)
+            if n_delta <= ONE_BY_ONE_CAP:
+                _, t_one = timed(_run_one_by_one, n_delta)
+                series["one_by_one_s"].append(t_one)
+            else:
+                series["one_by_one_s"].append(float("nan"))
+        print_series(
+            f"Figure 14(b): maintenance time (s) vs batch size "
+            f"(weather-like base, {BASE_ROWS} rows)",
+            "batch_size",
+            DELTA_SWEEP,
+            series,
+            result_file="fig14b.txt",
+        )
+        return series
+
+    benchmark.pedantic(make, rounds=1, iterations=1)

@@ -1,0 +1,62 @@
+"""Figure 15 — storage sizes on the weather dataset vs dimensionality.
+
+The paper's table lists absolute sizes (MB) of the full Cube, Dwarf,
+QC-table, and QC-tree as the weather relation is projected onto more
+dimensions.  Expected shape: the cube explodes with dimensionality while
+all three compressed structures grow far slower, with QC-tree ≤ QC-table
+at higher dimensionality.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from common import print_table, weather
+from repro.storage import compression_report
+
+DIM_SWEEP = [3, 4, 5, 6, 7, 8, 9]
+N_ROWS = 1500
+
+
+@lru_cache(maxsize=None)
+def _report(n_dims):
+    return compression_report(weather(n_rows=N_ROWS, n_dims=n_dims), "count")
+
+
+@pytest.mark.parametrize("n_dims", DIM_SWEEP)
+def test_fig15_build(benchmark, n_dims):
+    table = weather(n_rows=N_ROWS, n_dims=n_dims)
+    benchmark.pedantic(
+        compression_report, args=(table, "count"), rounds=1, iterations=1
+    )
+
+
+def test_fig15_report(benchmark):
+    def make():
+        rows = []
+        for n_dims in DIM_SWEEP:
+            report = _report(n_dims)
+            rows.append(
+                [
+                    n_dims,
+                    report["cube_bytes"] / 1e6,
+                    report["dwarf_bytes"] / 1e6,
+                    report["qc_table_bytes"] / 1e6,
+                    report["qctree_bytes"] / 1e6,
+                ]
+            )
+        print_table(
+            f"Figure 15: storage size (MB) on weather-like data "
+            f"({N_ROWS} rows)",
+            ["n_dims", "cube_mb", "dwarf_mb", "qc_table_mb", "qctree_mb"],
+            rows,
+            result_file="fig15.txt",
+        )
+        return rows
+
+    rows = benchmark.pedantic(make, rounds=1, iterations=1)
+    # Shape: the cube grows much faster with dimensionality than the
+    # compressed structures do.
+    cube_growth = rows[-1][1] / rows[0][1]
+    qctree_growth = rows[-1][4] / rows[0][4]
+    assert cube_growth > qctree_growth

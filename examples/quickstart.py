@@ -1,0 +1,69 @@
+"""Quickstart: the paper's running example, end to end.
+
+Builds the QC-tree of the Figure 1 sales table, prints the tree (compare
+with Figure 4), answers the paper's example queries, explores classes,
+applies the paper's batch update (Example 3) and deletion (Example 4),
+and shows persistence.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import QCWarehouse, Schema
+
+
+def main():
+    schema = Schema(
+        dimensions=("Store", "Product", "Season"), measures=("Sale",)
+    )
+    warehouse = QCWarehouse.from_records(
+        [
+            ("S1", "P1", "s", 6.0),
+            ("S1", "P2", "s", 12.0),
+            ("S2", "P1", "f", 9.0),
+        ],
+        schema,
+        aggregate=("avg", "Sale"),
+    )
+
+    print("QC-tree of the Figure 1 base table (compare with Figure 4):\n")
+    print(warehouse.tree.dump(decoder=warehouse.table.decode_value))
+    print("\nStats:", warehouse.stats())
+
+    print("\n-- Point queries (Example 5) --")
+    for cell in [("S2", "*", "f"), ("S2", "*", "s"), ("*", "P2", "*")]:
+        print(f"  AVG(Sale) at {cell} = {warehouse.point(cell)}")
+
+    print("\n-- Range query (Example 6) --")
+    result = warehouse.range((["S1", "S2", "S3"], ["P1", "P3"], "f"))
+    for cell, value in result.items():
+        print(f"  {cell} -> {value}")
+
+    print("\n-- Iceberg: classes with AVG(Sale) >= 9 --")
+    for upper_bound, value in warehouse.iceberg(9):
+        print(f"  class {upper_bound} : {value}")
+
+    print("\n-- Intelligent roll-up from (S2, P1, f) (the paper's §1) --")
+    for context, value in warehouse.rollup(("S2", "P1", "f")):
+        print(f"  context {context} keeps AVG = {value}")
+    for context, value in warehouse.rollup_exceptions(("S2", "P1", "f")):
+        print(f"  EXCEPT {context} where AVG = {value}")
+
+    print("\n-- Drill into the class of (S2, *, f) (Figure 3) --")
+    opened = warehouse.open_class(("S2", "*", "f"))
+    print(f"  upper bound : {opened['upper_bound']}")
+    print(f"  lower bounds: {opened['lower_bounds']}")
+    print(f"  members     : {opened['members']}")
+
+    print("\n-- Batch insertion (Example 3) --")
+    warehouse.insert([("S2", "P2", "f", 4.0), ("S2", "P3", "f", 1.0)])
+    print(f"  AVG at (S2, *, f) is now {warehouse.point(('S2', '*', 'f'))}")
+    print(f"  stats: {warehouse.stats()}")
+
+    print("\n-- Batch deletion (Example 4) --")
+    warehouse.delete([("S2", "P2", "f", 0.0), ("S2", "P3", "f", 0.0)])
+    print(f"  AVG at (S2, *, f) is back to {warehouse.point(('S2', '*', 'f'))}")
+    print(f"  stats: {warehouse.stats()}  (11 nodes, 5 links again)")
+
+
+if __name__ == "__main__":
+    main()

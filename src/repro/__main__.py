@@ -1,0 +1,193 @@
+"""Command-line interface for QC-tree warehouses.
+
+The CLI wraps the most common warehouse operations so a reproduced
+pipeline can be driven from the shell::
+
+    python -m repro build sales.csv --dims Store,Product,Season \\
+        --measures Sale --aggregate "avg(Sale)" --out sales.qct
+    python -m repro stats sales.qct
+    python -m repro point sales.qct --table sales.csv "S2,*,f"
+    python -m repro range sales.qct --table sales.csv "S1|S2,*,f"
+    python -m repro iceberg sales.qct --table sales.csv --threshold 9
+    python -m repro dump sales.qct --table sales.csv
+
+Cells use ``,`` between dimensions and ``*`` for ALL; range dimensions
+separate candidate values with ``|``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.serialize import load_qctree_from, save_qctree
+from repro.core.warehouse import QCWarehouse
+from repro.cube.schema import Schema
+from repro.cube.table import BaseTable
+from repro.errors import ReproError
+
+
+def _schema_from_args(args) -> Schema:
+    return Schema(
+        dimensions=tuple(args.dims.split(",")),
+        measures=tuple(args.measures.split(",")) if args.measures else (),
+    )
+
+
+def _load_warehouse(args) -> QCWarehouse:
+    tree = load_qctree_from(args.tree)
+    schema = Schema(dimensions=tree.dim_names, measures=args_measures(args))
+    table = BaseTable.from_csv(args.table, schema)
+    wh = QCWarehouse.__new__(QCWarehouse)
+    wh.table = table
+    wh.tree = tree
+    wh.aggregate = tree.aggregate
+    wh._index = None
+    wh._index_key = None
+    return wh
+
+
+def args_measures(args):
+    header_measures = getattr(args, "measures", None)
+    if header_measures:
+        return tuple(header_measures.split(","))
+    # Infer measures from the CSV header: everything after the dimensions.
+    import csv
+
+    with open(args.table, newline="") as fp:
+        header = next(csv.reader(fp))
+    tree = load_qctree_from(args.tree)
+    return tuple(header[len(tree.dim_names):])
+
+
+def parse_cell(text: str) -> tuple:
+    """Parse ``"S2,*,f"`` into a raw cell tuple."""
+    return tuple(part.strip() for part in text.split(","))
+
+
+def parse_range(text: str) -> tuple:
+    """Parse ``"S1|S2,*,f"`` into a raw range spec."""
+    spec = []
+    for part in text.split(","):
+        part = part.strip()
+        if part == "*":
+            spec.append("*")
+        elif "|" in part:
+            spec.append([v.strip() for v in part.split("|")])
+        else:
+            spec.append(part)
+    return tuple(spec)
+
+
+def cmd_build(args) -> int:
+    schema = _schema_from_args(args)
+    table = BaseTable.from_csv(args.csv, schema)
+    warehouse = QCWarehouse(table, aggregate=args.aggregate)
+    save_qctree(warehouse.tree, args.out)
+    stats = warehouse.stats()
+    print(
+        f"built {args.out}: {stats['classes']} classes, "
+        f"{stats['nodes']} nodes, {stats['links']} links "
+        f"from {stats['n_rows']} rows"
+    )
+    return 0
+
+
+def cmd_stats(args) -> int:
+    tree = load_qctree_from(args.tree)
+    for key, value in tree.stats().items():
+        print(f"{key}: {value}")
+    print(f"aggregate: {tree.aggregate.name}")
+    print(f"dimensions: {', '.join(tree.dim_names)}")
+    return 0
+
+
+def cmd_point(args) -> int:
+    warehouse = _load_warehouse(args)
+    value = warehouse.point(parse_cell(args.cell))
+    print("NULL" if value is None else value)
+    return 0
+
+
+def cmd_range(args) -> int:
+    warehouse = _load_warehouse(args)
+    results = warehouse.range(parse_range(args.spec))
+    for cell, value in sorted(results.items()):
+        print(f"{','.join(map(str, cell))}\t{value}")
+    print(f"# {len(results)} cells", file=sys.stderr)
+    return 0
+
+
+def cmd_iceberg(args) -> int:
+    warehouse = _load_warehouse(args)
+    for upper_bound, value in warehouse.iceberg(args.threshold, op=args.op):
+        print(f"{','.join(map(str, upper_bound))}\t{value}")
+    return 0
+
+
+def cmd_dump(args) -> int:
+    warehouse = _load_warehouse(args)
+    print(warehouse.tree.dump(decoder=warehouse.table.decode_value))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="QC-tree warehouse command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="build a QC-tree from a CSV")
+    p_build.add_argument("csv")
+    p_build.add_argument("--dims", required=True,
+                         help="comma-separated dimension column names")
+    p_build.add_argument("--measures", default="",
+                         help="comma-separated measure column names")
+    p_build.add_argument("--aggregate", default="count",
+                         help='aggregate spec, e.g. count or "avg(Sale)"')
+    p_build.add_argument("--out", required=True, help="output .qct path")
+    p_build.set_defaults(func=cmd_build)
+
+    p_stats = sub.add_parser("stats", help="show a saved tree's statistics")
+    p_stats.add_argument("tree")
+    p_stats.set_defaults(func=cmd_stats)
+
+    def with_table(p):
+        p.add_argument("tree")
+        p.add_argument("--table", required=True,
+                       help="CSV base table (for label encoding)")
+        return p
+
+    p_point = with_table(sub.add_parser("point", help="answer a point query"))
+    p_point.add_argument("cell", help='e.g. "S2,*,f"')
+    p_point.set_defaults(func=cmd_point)
+
+    p_range = with_table(sub.add_parser("range", help="answer a range query"))
+    p_range.add_argument("spec", help='e.g. "S1|S2,*,f"')
+    p_range.set_defaults(func=cmd_range)
+
+    p_ice = with_table(sub.add_parser("iceberg", help="pure iceberg query"))
+    p_ice.add_argument("--threshold", type=float, required=True)
+    p_ice.add_argument("--op", default=">=", choices=[">=", ">", "<=", "<"])
+    p_ice.set_defaults(func=cmd_iceberg)
+
+    p_dump = with_table(sub.add_parser("dump", help="pretty-print the tree"))
+    p_dump.set_defaults(func=cmd_dump)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Core QC-tree machinery: the paper's primary contribution."""
+
+from repro.core.cells import ALL
+from repro.core.qctree import QCTree
+from repro.core.construct import build_qctree, build_qctree_reference
+from repro.core.point_query import locate, point_query, point_query_raw
+from repro.core.range_query import (
+    RangeQuery, range_query, range_query_naive, range_query_raw,
+)
+from repro.core.iceberg import MeasureIndex, constrained_iceberg, pure_iceberg
+from repro.core.explore import (
+    class_of, drill_into_class, intelligent_rollup, lattice_drilldowns,
+    lattice_rollups, rollup_exceptions,
+)
+from repro.core.serialize import (
+    dumps_qctree, load_qctree_from, loads_qctree, save_qctree,
+)
+from repro.core.warehouse import QCWarehouse
+from repro.core.analyze import analyze_tree
+from repro.core.lattice_graph import (
+    lattice_to_dot, quotient_lattice, tree_to_dot,
+)
+
+__all__ = [
+    "ALL", "QCTree", "build_qctree", "build_qctree_reference", "locate",
+    "analyze_tree", "lattice_to_dot", "quotient_lattice", "tree_to_dot",
+    "point_query",
+    "point_query_raw", "RangeQuery", "range_query", "range_query_naive",
+    "range_query_raw", "MeasureIndex", "constrained_iceberg", "pure_iceberg",
+    "class_of", "drill_into_class", "intelligent_rollup",
+    "lattice_drilldowns", "lattice_rollups", "rollup_exceptions",
+    "dumps_qctree", "load_qctree_from", "loads_qctree", "save_qctree",
+    "QCWarehouse",
+]

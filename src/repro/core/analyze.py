@@ -1,0 +1,91 @@
+"""Analysis reports for QC-trees: where the compression comes from.
+
+The summary a storage engineer wants before adopting the structure:
+class-size distribution (how many cells each class absorbs), per-level
+fan-out and prefix sharing, link density, and the estimated bytes per
+class.  Used by the structure-explorer example and handy in a REPL::
+
+    >>> from repro.core.analyze import analyze_tree
+    >>> report = analyze_tree(tree, table)
+    >>> report["cells_per_class_mean"]
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.qctree import QCTree
+from repro.cube.buc import buc_cell_count
+from repro.storage import qctree_bytes
+
+
+def tree_depths(tree: QCTree) -> Counter:
+    """Histogram of node depths (root = 0)."""
+    depths: Counter = Counter()
+
+    def walk(node, depth):
+        depths[depth] += 1
+        for by_value in tree.children[node].values():
+            for child in by_value.values():
+                walk(child, depth + 1)
+
+    walk(tree.root, 0)
+    return depths
+
+
+def link_dimension_histogram(tree: QCTree) -> Counter:
+    """How many drill-down links label each dimension."""
+    histogram: Counter = Counter()
+    for _src, dim, _value, _tgt in tree.iter_links():
+        histogram[dim] += 1
+    return histogram
+
+
+def class_size_distribution(tree: QCTree, table) -> Counter:
+    """Histogram of class sizes (member cells per class).
+
+    Member counts are derived from each class's lower bounds via the
+    interval-union structure; exponential in a bound's non-``*`` width,
+    so intended for analysis-scale tables.
+    """
+    from repro.core.explore import _interval_union_members
+    from repro.cube.quotient import class_lower_bounds
+
+    sizes: Counter = Counter()
+    for node in tree.iter_class_nodes():
+        ub = tree.upper_bound_of(node)
+        lowers = class_lower_bounds(table, ub)
+        members = sum(1 for _ in _interval_union_members(lowers, ub))
+        sizes[members] += 1
+    return sizes
+
+
+def analyze_tree(tree: QCTree, table, with_class_sizes: bool = True) -> dict:
+    """One-stop report on a QC-tree over its base table."""
+    stats = tree.stats()
+    n_cells = buc_cell_count(table)
+    depths = tree_depths(tree)
+    report = {
+        **stats,
+        "bytes": qctree_bytes(tree),
+        "cube_cells": n_cells,
+        "cells_per_class_mean": (
+            n_cells / stats["classes"] if stats["classes"] else 0.0
+        ),
+        "max_depth": max(depths) if depths else 0,
+        "depth_histogram": dict(sorted(depths.items())),
+        "links_per_dimension": dict(
+            sorted(link_dimension_histogram(tree).items())
+        ),
+        "link_density": (
+            stats["links"] / stats["nodes"] if stats["nodes"] else 0.0
+        ),
+    }
+    if with_class_sizes:
+        sizes = class_size_distribution(tree, table)
+        total_cells = sum(size * count for size, count in sizes.items())
+        report["class_size_histogram"] = dict(sorted(sizes.items()))
+        report["class_size_max"] = max(sizes) if sizes else 0
+        # Cross-check: every cube cell lives in exactly one class.
+        report["cells_accounted"] = total_cells
+    return report

@@ -1,0 +1,121 @@
+"""Cover-partition depth-first search (Function ``DFS`` of Algorithm 1).
+
+The DFS walks the cube lattice once per cover-equivalence class (plus a
+bounded number of *redundant* rediscoveries, kept deliberately because each
+one records a drill-down relationship that becomes a QC-tree link).  For
+every visited cell it records a :class:`TempClass` holding:
+
+* ``lower_bound`` — the cell the search arrived at,
+* ``upper_bound`` — the class upper bound, obtained by "jumping" to the
+  closure: any ``*`` dimension in which every tuple of the cell's partition
+  shares one value gets that value,
+* ``child_id`` — the temp class of the caller (the *lattice child*, i.e.
+  the one-step-more-general class the search drilled down from),
+* ``state`` — the aggregate state of the partition.
+
+Pruning rule (step 4 of the paper's Function DFS): if the closure filled a
+dimension *before* the dimension just instantiated, this class has already
+been expanded from an earlier branch, so the class is recorded (for its
+link) but not expanded further.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.cells import ALL, Cell
+from repro.cube.aggregates import make_aggregate
+from repro.cube.table import BaseTable
+
+
+@dataclass
+class TempClass:
+    """One temporary class recorded by the DFS (row of the paper's Fig. 6)."""
+
+    class_id: int
+    upper_bound: Cell
+    lower_bound: Cell
+    child_id: int
+    state: object
+
+    def __repr__(self):
+        return (
+            f"TempClass(i{self.class_id}, ub={self.upper_bound}, "
+            f"lb={self.lower_bound}, child=i{self.child_id})"
+        )
+
+
+def partition_closure(table: BaseTable, cell: Cell, rows) -> Cell:
+    """Jump ``cell`` to its class upper bound within partition ``rows``.
+
+    For each ``*`` dimension, if every row of the partition carries the
+    same value there, the upper bound takes that value.  ``rows`` must be
+    exactly the cover set of ``cell`` and non-empty.
+    """
+    table_rows = table.rows
+    first = table_rows[rows[0]]
+    out = list(cell)
+    for j, v in enumerate(cell):
+        if v is not ALL:
+            continue
+        candidate = first[j]
+        if all(table_rows[i][j] == candidate for i in rows[1:]):
+            out[j] = candidate
+    return tuple(out)
+
+
+def enumerate_temp_classes(
+    table: BaseTable,
+    aggregate="count",
+    visitor: Optional[Callable] = None,
+) -> list:
+    """Run the cover-partition DFS over ``table`` and return its temp classes.
+
+    ``aggregate`` is any spec accepted by
+    :func:`repro.cube.aggregates.make_aggregate`.  When ``visitor`` is
+    given, it is called as ``visitor(temp_class, rows)`` for every recorded
+    class — the incremental-insertion algorithm uses this hook to classify
+    classes against an existing tree while they are discovered.
+
+    An empty table produces no classes (the quotient cube of an empty cube
+    is empty apart from the ``false`` class, which is never stored).
+    """
+    agg = make_aggregate(aggregate)
+    n_dims = table.n_dims
+    table_rows = table.rows
+    temp: list = []
+    if not table_rows:
+        return temp
+
+    def dfs(cell: Cell, rows: list, k: int, child_id: int) -> None:
+        state = agg.state(table, rows)
+        upper = partition_closure(table, cell, rows)
+        cls_id = len(temp)
+        record = TempClass(cls_id, upper, cell, child_id, state)
+        temp.append(record)
+        if visitor is not None:
+            visitor(record, rows)
+        # Pruning: the closure gained a value in a dimension before the one
+        # just instantiated, so an earlier branch already expanded this
+        # class.  The record above still contributes its drill-down link.
+        for j in range(k):
+            if cell[j] is ALL and upper[j] is not ALL:
+                return
+        for j in range(k, n_dims):
+            if upper[j] is not ALL:
+                continue
+            parts: dict = {}
+            for i in rows:
+                parts.setdefault(table_rows[i][j], []).append(i)
+            for value in sorted(parts):
+                child_cell = upper[:j] + (value,) + upper[j + 1:]
+                dfs(child_cell, parts[value], j + 1, cls_id)
+
+    dfs((ALL,) * n_dims, list(range(len(table_rows))), 0, -1)
+    return temp
+
+
+def unique_upper_bounds(temp_classes) -> set:
+    """The distinct class upper bounds among a DFS result."""
+    return {t.upper_bound for t in temp_classes}

@@ -1,0 +1,176 @@
+"""QC-tree construction from a base table (Algorithm 1 of the paper).
+
+Construction is two-phase:
+
+1. the cover-partition DFS (:mod:`repro.core.classes`) enumerates temporary
+   classes — one per class, plus redundant rediscoveries that each encode a
+   drill-down relationship;
+2. temp classes are sorted by upper bound in dictionary order (``*`` before
+   every concrete value) and inserted.  The first occurrence of an upper
+   bound creates its path and stores the aggregate; every redundant
+   occurrence instead contributes a drill-down link: from the node of its
+   lattice child's upper bound, labeled with the first dimension where the
+   child bound is ``*`` but the rediscovered lower bound is not, targeting
+   the prefix of the current bound's path through that dimension
+   (Definition 1, condition 4).
+"""
+
+from __future__ import annotations
+
+from repro.core.cells import ALL, dict_sort_key
+from repro.core.classes import enumerate_temp_classes
+from repro.core.qctree import QCTree
+from repro.cube.aggregates import make_aggregate
+from repro.cube.table import BaseTable
+from repro.errors import QueryError
+
+
+def build_qctree(table: BaseTable, aggregate="count") -> QCTree:
+    """Build the QC-tree of ``table``'s cover quotient cube.
+
+    ``aggregate`` is any spec accepted by
+    :func:`repro.cube.aggregates.make_aggregate` (e.g. ``"count"``,
+    ``("avg", "Sale")``, or a list of specs for a multi-measure tree).
+
+    The result is unique for a given table and dimension order (Theorem 1):
+    permuting the input rows yields an identical tree.
+    """
+    agg = make_aggregate(aggregate)
+    temp_classes = enumerate_temp_classes(table, agg)
+    tree = QCTree(table.n_dims, agg, dim_names=table.schema.dimension_names)
+    insert_temp_classes(tree, temp_classes)
+    return tree
+
+
+def build_qctree_reference(table: BaseTable, aggregate="count") -> QCTree:
+    """Closure-relation reference construction (differential oracle).
+
+    Builds the same QC-tree as :func:`build_qctree` without the DFS,
+    directly from the closure relation:
+
+    * one path + aggregate per closed cell;
+    * a drill-down link out of node ``p`` labeled ``(j, v)`` targeting
+      class ``T`` exactly when some class ``C`` whose path runs through
+      ``p`` with no values at or before ``j`` beyond ``p``'s satisfies
+      ``closure(C.ub + v@j) == closure(cell(p) + v@j) == T`` — the
+      *justified-context* characterization that also drives incremental
+      maintenance (with :meth:`QCTree.add_link` dropping links that
+      coincide with tree edges).
+
+    Exponential-ish in the closed-cell fan-out (each class tries every
+    value of every open dimension); use on analysis-scale inputs.  The
+    property tests assert exact signature equality with Algorithm 1 —
+    the two constructions validate each other.
+    """
+    from repro.cube.cover_index import CoverIndex
+
+    agg = make_aggregate(aggregate)
+    tree = QCTree(table.n_dims, agg, dim_names=table.schema.dimension_names)
+    if not table.rows:
+        return tree
+    index = CoverIndex(table)
+    n_dims = table.n_dims
+
+    # Closed cells via closure jumps from every base tuple's generalizations.
+    closed: dict = {}
+    frontier = [index.closure((ALL,) * n_dims)]
+    while frontier:
+        bound = frontier.pop()
+        if bound in closed:
+            continue
+        closed[bound] = index.rows(bound)
+        for j in range(n_dims):
+            if bound[j] is not ALL:
+                continue
+            for value in {table.rows[i][j] for i in closed[bound]}:
+                child = index.closure(bound[:j] + (value,) + bound[j + 1:])
+                if child not in closed:
+                    frontier.append(child)
+
+    for bound, rows in closed.items():
+        node = tree.insert_path(bound)
+        tree.set_state(node, agg.state(table, sorted(rows)))
+
+    for bound, rows in closed.items():
+        for j in range(n_dims):
+            if bound[j] is not ALL:
+                continue
+            trunc = tuple(
+                v if d < j else ALL for d, v in enumerate(bound)
+            )
+            for value in sorted({table.rows[i][j] for i in rows}):
+                drill_closure = index.closure(
+                    bound[:j] + (value,) + bound[j + 1:]
+                )
+                context_closure = index.closure(
+                    trunc[:j] + (value,) + trunc[j + 1:]
+                )
+                if drill_closure != context_closure:
+                    continue  # the context routes to another class
+                source = tree.find_path(trunc)
+                target = tree.path_prefix_node(drill_closure, j)
+                if source is not None and target is not None:
+                    tree.add_link(source, j, value, target)
+    return tree
+
+
+def insert_temp_classes(tree: QCTree, temp_classes) -> None:
+    """Phase 2 of Algorithm 1: sorted insertion plus link building.
+
+    Shared with batch insertion, which inserts freshly created classes the
+    same way.  ``temp_classes`` may be empty (empty base table).
+    """
+    if not temp_classes:
+        return
+    by_id = {t.class_id: t for t in temp_classes}
+    ordered = sorted(
+        temp_classes, key=lambda t: (dict_sort_key(t.upper_bound), t.class_id)
+    )
+    last_bound = None
+    for current in ordered:
+        if current.upper_bound != last_bound:
+            node = tree.insert_path(current.upper_bound)
+            tree.set_state(node, current.state)
+            last_bound = current.upper_bound
+        else:
+            add_drilldown_link(tree, by_id, current)
+
+
+def add_drilldown_link(tree: QCTree, by_id: dict, current) -> None:
+    """Record the drill-down encoded by a redundant temp class.
+
+    ``current`` rediscovered an already-inserted upper bound from lattice
+    child ``by_id[current.child_id]``.  Let ``D`` be the first dimension
+    where the child bound is ``*`` while ``current``'s lower bound is
+    concrete (for DFS output this is exactly the dimension the search
+    instantiated).  Per Definition 1 condition 4 the link goes out of the
+    node spelling the child bound's values *before* ``D``, is labeled with
+    ``current``'s value at ``D``, and targets the prefix node of
+    ``current``'s bound through ``D``.
+    """
+    child = by_id.get(current.child_id)
+    if child is None:
+        raise QueryError(
+            f"temp class i{current.class_id} references unknown child "
+            f"i{current.child_id}"
+        )
+    child_ub = child.upper_bound
+    lb = current.lower_bound
+    link_dim = None
+    for j, (ub_v, lb_v) in enumerate(zip(child_ub, lb)):
+        if ub_v is ALL and lb_v is not ALL:
+            link_dim = j
+            break
+    if link_dim is None:
+        # The rediscovered bound does not refine the child bound in any
+        # dimension the child left open; no drill-down link is expressible
+        # (cannot occur for DFS output, but tolerated for robustness).
+        return
+    source = tree.path_prefix_node(child_ub, link_dim - 1)
+    target = tree.path_prefix_node(current.upper_bound, link_dim)
+    if source is None or target is None:
+        raise QueryError(
+            "drill-down link endpoints missing; temp classes were not "
+            "inserted in dictionary order"
+        )
+    tree.add_link(source, link_dim, current.upper_bound[link_dim], target)

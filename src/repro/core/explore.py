@@ -1,0 +1,218 @@
+"""Semantic exploration on a QC-tree: the OLAP services quotient cubes enable.
+
+The paper motivates quotient cubes with navigation that plain cubes make
+painful: intelligent roll-up ("what are the most general circumstances
+under which this observation still holds?"), drilling *into* a class to
+inspect its internal structure, and moving between classes instead of
+between cells.  All operations here run off the QC-tree (plus the base
+table only where member enumeration genuinely needs cover information).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.cells import (
+    ALL,
+    Cell,
+    dict_sort_key,
+    generalizes,
+)
+from repro.core.maintenance.insert import closures_below
+from repro.core.point_query import locate
+from repro.core.qctree import QCTree
+from repro.cube.aggregates import values_close
+from repro.errors import QueryError
+
+
+@dataclass
+class ClassView:
+    """A class surfaced by an exploration call."""
+
+    upper_bound: Cell
+    value: object
+
+    def __repr__(self):
+        return f"ClassView(ub={self.upper_bound}, value={self.value})"
+
+
+def class_of(tree: QCTree, cell: Cell) -> Optional[ClassView]:
+    """The class containing ``cell``, or None if it is not in the cube."""
+    node = locate(tree, cell)
+    if node is None:
+        return None
+    return ClassView(tree.upper_bound_of(node), tree.value_at(node))
+
+
+def intelligent_rollup(tree: QCTree, cell: Cell, rel_tol: float = 1e-9) -> list:
+    """Most general contexts where ``cell``'s aggregate value still holds.
+
+    This is the paper's intelligent roll-up example (§1): starting from
+    ``(S2, P1, f)`` with AVG 9, the answer describes how far one can
+    generalize while the value stays 9.  The search runs over *classes*,
+    not cells: only the closures of ``cell``'s generalizations are
+    examined (the paper: "we only need to search at most 2 classes").
+
+    Returns the matching classes ordered most-general-first; the leading
+    entries are the roll-up frontier, and any non-matching class between
+    them and ``cell`` (e.g. ``(*, P1, *)`` in the running example) is the
+    "except" part of the paper's phrasing, obtainable via
+    :func:`rollup_exceptions`.
+    """
+    start = locate(tree, cell)
+    if start is None:
+        raise QueryError(f"cell {cell!r} is not in the cube")
+    value = tree.value_at(start)
+    matches = [
+        ClassView(ub, tree.value_at(node))
+        for ub, node in closures_below(tree, tree.upper_bound_of(start)).items()
+        if values_close(tree.value_at(node), value, rel_tol=rel_tol)
+    ]
+    matches.sort(key=lambda c: (len([v for v in c.upper_bound if v is not ALL]),
+                                dict_sort_key(c.upper_bound)))
+    return matches
+
+
+def rollup_exceptions(tree: QCTree, cell: Cell, rel_tol: float = 1e-9) -> list:
+    """Classes between ``cell`` and its roll-up frontier with other values."""
+    start = locate(tree, cell)
+    if start is None:
+        raise QueryError(f"cell {cell!r} is not in the cube")
+    value = tree.value_at(start)
+    return [
+        ClassView(ub, tree.value_at(node))
+        for ub, node in closures_below(tree, tree.upper_bound_of(start)).items()
+        if not values_close(tree.value_at(node), value, rel_tol=rel_tol)
+    ]
+
+
+def lattice_drilldowns(tree: QCTree, cell: Cell, table) -> list:
+    """Classes reached by one-step drill-downs from ``cell``'s class.
+
+    Instantiates each ``*`` dimension of the class upper bound with every
+    value present in its cover (needs the base table to enumerate values)
+    and returns the distinct destination classes.
+    """
+    node = locate(tree, cell)
+    if node is None:
+        raise QueryError(f"cell {cell!r} is not in the cube")
+    ub = tree.upper_bound_of(node)
+    rows = table.select(ub)
+    seen = {}
+    for j, v in enumerate(ub):
+        if v is not ALL:
+            continue
+        for value in sorted({table.rows[i][j] for i in rows}):
+            target = locate(tree, ub[:j] + (value,) + ub[j + 1:])
+            if target is not None and target != node:
+                tub = tree.upper_bound_of(target)
+                seen.setdefault(tub, ClassView(tub, tree.value_at(target)))
+    return sorted(seen.values(), key=lambda c: dict_sort_key(c.upper_bound))
+
+
+def lattice_rollups(tree: QCTree, cell: Cell, table=None) -> list:
+    """Classes reached by one-step roll-ups from ``cell``'s class.
+
+    A lattice child is reachable by generalizing one dimension of *some
+    member cell*, not necessarily of the upper bound (e.g. in the paper's
+    Figure 3, C6 is a child of C5 via member ``(*, P1, s)``).  With a
+    base ``table`` the members are enumerated exactly; without one, only
+    upper-bound generalizations are explored (a cheaper approximation
+    that can miss children entered through other members).
+    """
+    node = locate(tree, cell)
+    if node is None:
+        raise QueryError(f"cell {cell!r} is not in the cube")
+    ub = tree.upper_bound_of(node)
+    if table is not None:
+        from repro.cube.quotient import class_lower_bounds
+
+        lowers = class_lower_bounds(table, ub)
+        members = list(_interval_union_members(lowers, ub))
+    else:
+        members = [ub]
+    seen = {}
+    for member in members:
+        for j, v in enumerate(member):
+            if v is ALL:
+                continue
+            target = locate(tree, member[:j] + (ALL,) + member[j + 1:])
+            if target is not None and target != node:
+                tub = tree.upper_bound_of(target)
+                seen.setdefault(tub, ClassView(tub, tree.value_at(target)))
+    return sorted(seen.values(), key=lambda c: dict_sort_key(c.upper_bound))
+
+
+def drill_into_class(tree: QCTree, cell: Cell, table) -> "ClassStructure":
+    """Open a class up and inspect its internal structure (Figure 3).
+
+    Returns the class's upper bound, its true lower bounds, and all its
+    member cells with the intra-class drill-down edges — the picture the
+    paper draws when drilling into class ``C3``.
+    """
+    node = locate(tree, cell)
+    if node is None:
+        raise QueryError(f"cell {cell!r} is not in the cube")
+    ub = tree.upper_bound_of(node)
+    from repro.cube.quotient import class_lower_bounds
+
+    lowers = class_lower_bounds(table, ub)
+    members = sorted(_interval_union_members(lowers, ub), key=dict_sort_key)
+    edges = []
+    for c in members:
+        for j, v in enumerate(c):
+            if v is not ALL:
+                continue
+            d = c[:j] + (ub[j],) + c[j + 1:]
+            if d != c and d in set(members):
+                edges.append((c, d))
+    return ClassStructure(ub, tuple(lowers), tuple(members), tuple(edges),
+                          tree.value_at(node))
+
+
+def _interval_union_members(lower_bounds, upper_bound) -> Iterator[Cell]:
+    """All cells between some lower bound and the upper bound."""
+    seen = set()
+    free_dims = [
+        j for j, v in enumerate(upper_bound) if v is not ALL
+    ]
+    # Members keep a superset of some minimal kept-set; enumerate kept-sets
+    # grown from each lower bound.
+    from itertools import combinations
+
+    lb_kept = [
+        {j for j, v in enumerate(lb) if v is not ALL} for lb in lower_bounds
+    ]
+    for kept in lb_kept:
+        optional = [j for j in free_dims if j not in kept]
+        for r in range(len(optional) + 1):
+            for extra in combinations(optional, r):
+                key = frozenset(kept) | set(extra)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield tuple(
+                    v if (j in key) else ALL
+                    for j, v in enumerate(upper_bound)
+                )
+
+
+@dataclass
+class ClassStructure:
+    """The opened-up view of one class (see :func:`drill_into_class`)."""
+
+    upper_bound: Cell
+    lower_bounds: tuple
+    members: tuple
+    drilldown_edges: tuple
+    value: object
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def contains(self, cell: Cell) -> bool:
+        """Membership test against the interval-union structure."""
+        return generalizes(cell, self.upper_bound) and any(
+            generalizes(lb, cell) for lb in self.lower_bounds
+        )

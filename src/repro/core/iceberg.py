@@ -1,0 +1,231 @@
+"""Iceberg-query answering on a QC-tree (§4.3 of the paper).
+
+An iceberg query asks for all cells whose aggregate clears a threshold.
+Because cover-equivalent cells share their aggregate, the natural unit of
+answer is the *class*: a pure iceberg query returns the satisfying classes
+(upper bound + value), each standing for all its member cells.
+
+Pure iceberg queries run off a :class:`MeasureIndex` — a B+-tree over the
+class nodes' aggregate values — with a single range scan.  *Constrained*
+iceberg queries combine a range query with the threshold; the paper offers
+two strategies, both implemented here:
+
+``filter``
+    Answer the range query, then verify the iceberg condition per result.
+``mark``
+    Use the measure index to mark the satisfying class nodes, retain the
+    part of the QC-tree that can still reach a marked node, and process
+    the range query on that restriction.  (The paper retains marked nodes
+    and their ancestors; because drill-down links can enter a class's path
+    from outside its ancestor chain, we retain the exact backward-reachable
+    set over tree edges and links instead — a superset that preserves
+    completeness at the same asymptotic cost.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.cells import ALL, generalizes
+from repro.core.point_query import descend_to_class
+from repro.core.qctree import QCTree
+from repro.core.range_query import RangeQuery
+from repro.errors import QueryError
+from repro.index.bptree import BPlusTree
+
+_OPS = {
+    ">=": ("ge", True), ">": ("ge", False),
+    "<=": ("le", True), "<": ("le", False),
+}
+
+
+class MeasureIndex:
+    """B+-tree index of a QC-tree's class nodes keyed by aggregate value.
+
+    ``key`` maps a class's user-facing aggregate value to the sortable
+    scalar indexed; it defaults to the identity and must be supplied for
+    multi-aggregate trees (e.g. ``key=lambda v: v[0]``).
+    """
+
+    def __init__(self, tree: QCTree, key: Optional[Callable] = None,
+                 order: int = 32):
+        self.tree = tree
+        self.key = key if key is not None else lambda value: value
+        self._bpt = BPlusTree(order=order)
+        for node in tree.iter_class_nodes():
+            self._bpt.insert(self._node_key(node), node)
+
+    def _node_key(self, node: int):
+        value = self.tree.value_at(node)
+        key = self.key(value)
+        if not isinstance(key, (int, float)):
+            raise QueryError(
+                f"measure index key must be numeric, got {key!r}; "
+                "pass key= to select a component of the aggregate"
+            )
+        return key
+
+    def __len__(self) -> int:
+        return len(self._bpt)
+
+    def add(self, node: int) -> None:
+        """Register a class node (call after maintenance adds one)."""
+        self._bpt.insert(self._node_key(node), node)
+
+    def discard(self, node: int, old_key) -> None:
+        """Unregister a class node given the key it was stored under."""
+        self._bpt.remove(old_key, node)
+
+    def nodes_satisfying(self, threshold, op: str = ">=") -> list:
+        """Class node ids whose indexed key satisfies ``key op threshold``."""
+        if op not in _OPS:
+            raise QueryError(f"unknown iceberg operator {op!r}; use one of {sorted(_OPS)}")
+        direction, inclusive = _OPS[op]
+        if direction == "ge":
+            scan = self._bpt.range_scan(low=threshold, include_low=inclusive)
+        else:
+            scan = self._bpt.range_scan(high=threshold, include_high=inclusive)
+        return [node for _, node in scan]
+
+
+def pure_iceberg(
+    tree: QCTree,
+    threshold,
+    op: str = ">=",
+    index: Optional[MeasureIndex] = None,
+    key: Optional[Callable] = None,
+) -> list:
+    """All classes whose aggregate satisfies the threshold.
+
+    Returns ``[(upper_bound, value), ...]`` sorted by upper bound; every
+    member cell of each returned class satisfies the condition.  Building
+    a :class:`MeasureIndex` once and passing it in amortizes the scan cost
+    across queries, as the paper intends.
+    """
+    if index is None:
+        index = MeasureIndex(tree, key=key)
+    from repro.core.cells import dict_sort_key
+
+    out = [
+        (tree.upper_bound_of(node), tree.value_at(node))
+        for node in index.nodes_satisfying(threshold, op)
+    ]
+    out.sort(key=lambda pair: dict_sort_key(pair[0]))
+    return out
+
+
+def constrained_iceberg(
+    tree: QCTree,
+    spec,
+    threshold,
+    op: str = ">=",
+    strategy: str = "filter",
+    index: Optional[MeasureIndex] = None,
+    key: Optional[Callable] = None,
+) -> dict:
+    """Range query + iceberg condition: ``{point cell: value}``.
+
+    ``strategy`` selects the paper's plan (1) ``"filter"`` or plan (2)
+    ``"mark"``; both return identical results.
+    """
+    if strategy == "filter":
+        from repro.core.range_query import range_query
+
+        keyfn = key if key is not None else (lambda value: value)
+        results = range_query(tree, spec)
+        return {
+            cell: value
+            for cell, value in results.items()
+            if _satisfies(keyfn(value), threshold, op)
+        }
+    if strategy == "mark":
+        return _marked_range_query(tree, spec, threshold, op, index, key)
+    raise QueryError(f"unknown iceberg strategy {strategy!r}")
+
+
+def _satisfies(value, threshold, op: str) -> bool:
+    if op == ">=":
+        return value >= threshold
+    if op == ">":
+        return value > threshold
+    if op == "<=":
+        return value <= threshold
+    if op == "<":
+        return value < threshold
+    raise QueryError(f"unknown iceberg operator {op!r}")
+
+
+def _useful_nodes(tree: QCTree, satisfying) -> set:
+    """Nodes that can reach a satisfying class node via edges or links."""
+    incoming: dict = {}
+    for node in tree.iter_nodes():
+        for by_value in tree.children[node].values():
+            for child in by_value.values():
+                incoming.setdefault(child, []).append(node)
+        for by_value in tree.links[node].values():
+            for target in by_value.values():
+                incoming.setdefault(target, []).append(node)
+    useful = set(satisfying)
+    frontier = list(satisfying)
+    while frontier:
+        node = frontier.pop()
+        for pred in incoming.get(node, ()):
+            if pred not in useful:
+                useful.add(pred)
+                frontier.append(pred)
+    return useful
+
+
+def _marked_range_query(tree, spec, threshold, op, index, key) -> dict:
+    """The subtree-marking strategy for constrained iceberg queries."""
+    if index is None:
+        index = MeasureIndex(tree, key=key)
+    keyfn = key if key is not None else (lambda value: value)
+    satisfying = set(index.nodes_satisfying(threshold, op))
+    if not satisfying:
+        return {}
+    useful = _useful_nodes(tree, satisfying)
+    query = spec if isinstance(spec, RangeQuery) else RangeQuery(spec, tree.n_dims)
+    results: dict = {}
+
+    def route(node, dim, value):
+        """search_route restricted to useful nodes."""
+        while True:
+            nxt = tree.child(node, dim, value)
+            if nxt is None or nxt not in useful:
+                nxt = tree.link_target(node, dim, value)
+            if nxt is not None and nxt in useful:
+                return nxt
+            last = tree.last_child_dim(node)
+            if last is None or last >= dim:
+                return None
+            kids = tree.children_in_dim(node, last)
+            if len(kids) != 1:
+                return None
+            node = next(iter(kids.values()))
+            if node not in useful:
+                return None
+
+    def rec(dim, node, assigned):
+        if node is None:
+            return
+        if dim == query.n_dims:
+            final = descend_to_class(tree, node)
+            if final is None or final not in satisfying:
+                return
+            cell = tuple(assigned)
+            if generalizes(cell, tree.upper_bound_of(final)):
+                value = tree.value_at(final)
+                if _satisfies(keyfn(value), threshold, op):
+                    results[cell] = value
+            return
+        entry = query.positions[dim]
+        if entry is ALL:
+            rec(dim + 1, node, assigned + [ALL])
+            return
+        for value in entry:
+            rec(dim + 1, route(node, dim, value), assigned + [value])
+
+    if tree.root in useful:
+        rec(0, tree.root, [])
+    return results

@@ -1,0 +1,13 @@
+"""Incremental maintenance of QC-trees (insertions and deletions)."""
+
+from repro.core.maintenance.insert import (
+    apply_insertions, batch_insert, insert_one_by_one,
+)
+from repro.core.maintenance.delete import (
+    apply_deletions, batch_delete, delete_one_by_one,
+)
+
+__all__ = [
+    "apply_insertions", "batch_insert", "insert_one_by_one",
+    "apply_deletions", "batch_delete", "delete_one_by_one",
+]

@@ -1,0 +1,303 @@
+"""Incremental batch deletion from a QC-tree (§3.3.2).
+
+Deletion never creates classes: a class either keeps its bound with a
+reduced measure (*update*), disappears when its cover empties (*delete*),
+or *merges* into the class of the more specific closure its remaining
+cover now implies (the paper's Example 4).
+
+Affected classes are exactly those whose upper bound generalizes some
+deleted tuple — enumerable by walking the tree restricted to the tuple's
+values.  For each affected bound ``U`` the remaining cover decides its
+fate; aggregate states are subtracted in place when the aggregate supports
+it (COUNT/SUM/AVG) and recomputed from the new base table otherwise
+(MIN/MAX).
+
+Links are maintained by *justification*: a link labeled ``(j, v)`` out of
+node ``p`` belongs in the tree iff some live class ``C`` whose path runs
+through ``p`` with no values in dimensions ``(dim(p), j]`` drills down to
+the same closure the node's own context reaches.  Candidate contexts come
+from the removed/stale links, the vanished bounds' ancestors, the merge
+targets' drill-downs, and the links hanging off vanished paths.  As with
+insertion, the result is identical to a from-scratch rebuild on the
+reduced table (Theorem 2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.cells import ALL, Cell
+from repro.cube.cover_index import CoverIndex
+from repro.core.point_query import locate
+from repro.core.qctree import QCTree
+from repro.cube.table import BaseTable
+from repro.errors import MaintenanceError
+
+
+def _class_nodes_below(tree: QCTree, cell: Cell) -> dict:
+    """``{upper_bound: node}`` of classes whose bound generalizes ``cell``."""
+    out: dict = {}
+
+    def rec(node: int) -> None:
+        if tree.state[node] is not None:
+            out[tree.upper_bound_of(node)] = node
+        for dim, by_value in tree.children[node].items():
+            value = cell[dim]
+            if value is not ALL and value in by_value:
+                rec(by_value[value])
+
+    rec(tree.root)
+    return out
+
+
+def _affected_class_nodes(tree: QCTree, delta_rows) -> dict:
+    """``{upper_bound: node}`` of classes generalizing *any* delta row.
+
+    One walk for the whole batch: the recursion carries the subset of
+    delta rows consistent with the current path, so shared path prefixes
+    are visited once instead of once per deleted row.
+    """
+    out: dict = {}
+    rows = [tuple(r) for r in set(delta_rows)]
+
+    def rec(node: int, subset: list) -> None:
+        if tree.state[node] is not None:
+            out[tree.upper_bound_of(node)] = node
+        for dim, by_value in tree.children[node].items():
+            buckets: dict = {}
+            for row in subset:
+                value = row[dim]
+                if value in by_value:
+                    buckets.setdefault(value, []).append(row)
+            for value, part in buckets.items():
+                rec(by_value[value], part)
+
+    rec(tree.root, rows)
+    return out
+
+
+def _classes_through_prefix(tree: QCTree, src: int, min_dim: int) -> list:
+    """Bounds of classes whose path passes ``src`` using dims > ``min_dim``."""
+    out = []
+
+    def rec(node: int) -> None:
+        if tree.state[node] is not None:
+            out.append(tree.upper_bound_of(node))
+        for dim, by_value in tree.children[node].items():
+            if dim > min_dim:
+                for child in by_value.values():
+                    rec(child)
+
+    rec(src)
+    return out
+
+
+def _truncate(cell: Cell, before_dim: int) -> Cell:
+    return tuple(v if d < before_dim else ALL for d, v in enumerate(cell))
+
+
+def batch_delete(tree: QCTree, new_table: BaseTable, delta_rows) -> None:
+    """Apply the deletion of ``delta_rows`` (encoded dim tuples) in place.
+
+    ``new_table`` must be the base table with those rows already removed
+    (see :meth:`BaseTable.without_rows`); ``delta_rows`` is the multiset of
+    removed rows.  After the call the tree equals the one built from
+    scratch on ``new_table``.
+    """
+    if not delta_rows:
+        return
+    agg = tree.aggregate
+    n_dims = tree.n_dims
+    nt_rows = new_table.rows
+    new_index = CoverIndex(new_table)
+    delta_index = CoverIndex(rows=list(delta_rows), n_dims=n_dims)
+    new_closure = new_index.closure
+    delta_covers = delta_index.covers_any
+
+    # Subtracting deleted contributions from class states needs the deleted
+    # rows' measures; callers that have them attach a ``.measures`` array
+    # (see apply_deletions).  Without them, or for non-subtractable
+    # aggregates, states are recomputed from the new base table instead.
+    delta_measures = getattr(delta_rows, "measures", None)
+    subtract_possible = agg.subtractable and delta_measures is not None
+    if subtract_possible:
+        delta_table = BaseTable(
+            new_table.schema, list(delta_rows), delta_measures,
+            new_table._decoders, new_table._encoders,
+        )
+
+    # -- phase 1: fates of affected classes (pre-mutation) -----------------
+    affected = _affected_class_nodes(tree, delta_rows)
+    fates = []  # (old bound, node, new bound or None, new state or None)
+    for ub, node in affected.items():
+        w = new_closure(ub)
+        if w is None:
+            state = None
+        elif subtract_possible:
+            # States are computed before any mutation: a node may be both
+            # updated and the target of a merge, and subtraction must see
+            # the pre-deletion state.
+            covered = [
+                # delta rows covered by the surviving bound
+                i for i in sorted(delta_index.rows(w))
+            ]
+            source = locate(tree, w)
+            removed = agg.state(delta_table, covered)
+            state = (
+                agg.subtract(tree.state[source], removed)
+                if covered
+                else tree.state[source]
+            )
+        else:
+            state = agg.state(new_table, sorted(new_index.rows(w)))
+        fates.append((ub, node, w, state))
+
+    candidates: set = set()  # (source path cell, j, v)
+    incoming = tree.incoming_links()
+
+    def remove_link_tracked(src: int, j: int, v) -> None:
+        target = tree.link_target(src, j, v)
+        if target is not None:
+            entries = incoming.get(target)
+            if entries:
+                entries.discard((src, j, v))
+        tree.remove_link(src, j, v)
+
+    # (a) links whose drill-down cell covered deleted tuples are stale.
+    for src, j, v, _tgt in list(tree.iter_links()):
+        drill = tree.upper_bound_of(src)
+        drill = drill[:j] + (v,) + drill[j + 1:]
+        if delta_covers(drill):
+            remove_link_tracked(src, j, v)
+            candidates.add((tree.upper_bound_of(src), j, v))
+
+    # (b) links out of nodes on vanished paths may lose their justification.
+    for ub, node, w, _state in fates:
+        if w == ub:
+            continue
+        cur = node
+        while True:
+            pcell = tree.upper_bound_of(cur)
+            for j, by_value in tree.links[cur].items():
+                for v in by_value:
+                    candidates.add((pcell, j, v))
+            if cur == tree.root:
+                break
+            cur = tree.parent[cur]
+
+    # -- phase 2: apply class fates ------------------------------------------
+    merge_targets = []
+    for ub, node, w, state in fates:
+        if w == ub:
+            tree.set_state(node, state)
+        else:
+            tree.set_state(node, None)
+            if w is not None:
+                merge_targets.append(w)
+                tree.set_state(tree.insert_path(w), state)
+    for ub, node, w, _state in fates:
+        if w != ub:
+            tree.clear_state_and_prune(node, incoming=incoming)
+
+    # -- phase 3: remaining link candidates (post-mutation tree) -------------
+    for ub, node, w, _state in fates:
+        if w == ub:
+            continue
+        for cub in _class_nodes_below(tree, ub):
+            for j in range(n_dims):
+                if cub[j] is ALL and ub[j] is not ALL:
+                    candidates.add((_truncate(cub, j), j, ub[j]))
+    for w in merge_targets:
+        rows_w = new_index.rows(w)
+        for j in range(n_dims):
+            if w[j] is not ALL:
+                continue
+            trunc = _truncate(w, j)
+            for v in sorted({nt_rows[i][j] for i in rows_w}):
+                candidates.add((trunc, j, v))
+
+    # -- phase 4: justification-based refresh ---------------------------------
+    from repro.core.cells import generalizes
+
+    # The class set is static during phase 4 (only links change), so the
+    # per-(node, dim) class enumeration is memoized across candidates.
+    # Every class found by the walk has no value at or before ``j`` beyond
+    # the source's path, so no further prefix filtering is needed.
+    through_cache: dict = {}
+
+    def classes_through(src: int, j: int) -> list:
+        key = (src, j)
+        cached = through_cache.get(key)
+        if cached is None:
+            cached = through_cache[key] = _classes_through_prefix(tree, src, j)
+        return cached
+
+    for src_cell, j, v in candidates:
+        trunc = _truncate(src_cell, j)
+        src = tree.find_path(trunc)
+        if src is None:
+            continue
+        context = trunc[:j] + (v,) + trunc[j + 1:]
+        t_ctx = new_closure(context)
+        justified = None
+        if t_ctx is not None:
+            for cub in classes_through(src, j):
+                drill = cub[:j] + (v,) + cub[j + 1:]
+                # Cheap necessary condition before the closure test: the
+                # drill-down must generalize the context's closure.
+                if not generalizes(drill, t_ctx):
+                    continue
+                if new_closure(drill) == t_ctx:
+                    justified = t_ctx
+                    break
+        tree.remove_link(src, j, v)
+        if justified is not None:
+            target = tree.path_prefix_node(justified, j)
+            if target is not None:
+                tree.add_link(src, j, v, target)
+
+
+def apply_deletions(tree: QCTree, table: BaseTable, records) -> BaseTable:
+    """Delete raw records (multiset) from the warehouse; returns new table.
+
+    Each record's dimension labels must match existing rows; measure
+    values are ignored for matching (the paper deletes by key).  Raises
+    :class:`MaintenanceError` when a record has no matching row left.
+    """
+    n_dims = table.n_dims
+    wanted = Counter()
+    for record in records:
+        dims = tuple(record[:n_dims])
+        try:
+            wanted[table.encode_cell(dims)] += 1
+        except Exception as exc:  # unknown label => row cannot exist
+            raise MaintenanceError(
+                f"cannot delete {record!r}: {exc}"
+            ) from exc
+    drop = []
+    for i, row in enumerate(table.rows):
+        if wanted.get(row, 0) > 0:
+            wanted[row] -= 1
+            drop.append(i)
+    leftovers = +wanted
+    if leftovers:
+        raise MaintenanceError(
+            f"rows not present in base table: {dict(leftovers)}"
+        )
+    new_table = table.without_rows(drop)
+
+    class _DeltaRows(list):
+        pass
+
+    delta = _DeltaRows(table.rows[i] for i in drop)
+    delta.measures = table.measures[drop]
+    batch_delete(tree, new_table, delta)
+    return new_table
+
+
+def delete_one_by_one(tree: QCTree, table: BaseTable, records) -> BaseTable:
+    """Delete records one batch-of-one at a time (Figure 14's baseline)."""
+    current = table
+    for record in records:
+        current = apply_deletions(tree, current, [record])
+    return current

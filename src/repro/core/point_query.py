@@ -1,0 +1,136 @@
+"""Point-query answering on a QC-tree (Algorithm 3 of the paper).
+
+A point query names one cell; the answer is its aggregate value, or None
+when the cell's cover set is empty (it is not in the cube).  The walk
+processes the query's non-``*`` values in dimension order.  At each step
+``search_route`` follows a tree edge or drill-down link carrying the value;
+when neither exists, Lemma 2 applies: if the cell is in the cube, the class
+upper bound *forces* a value in the last dimension for which the current
+node has a child — and that dimension has exactly one child — so the walk
+descends there and retries.  After the last value, the walk keeps
+descending through forced dimensions until it reaches a class node.
+
+The walk touches at most one root-to-class path, so a point query costs
+O(path length), independent of the base-table size — the property the
+paper's Figure 13 experiments demonstrate.
+
+A final O(depth) verification compares the reached class's upper bound
+against the query: a class can answer the query only if its bound
+specializes the query cell.  For non-empty cells this always holds (the
+upper bound is the cell's closure); for empty cells it never can (any
+specializing class would give the cell a non-empty cover), so the check
+converts every wayward walk on an empty cell into the correct None.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.cells import ALL, Cell, generalizes
+from repro.core.qctree import QCTree
+from repro.errors import QueryError
+
+
+def search_route(tree: QCTree, node: int, dim: int, value,
+                 counter=None) -> Optional[int]:
+    """One ``searchroute`` step: reach a node labeled ``(dim, value)``.
+
+    Tries a tree edge first, then a drill-down link; otherwise falls back
+    to the unique child in the node's last child-bearing dimension when
+    that dimension precedes ``dim`` (Lemma 2), and retries from there.
+    Returns None when the route provably cannot exist.
+
+    ``counter`` is an optional one-element list incremented once per node
+    visited — the benchmarks use it to reproduce the paper's node-access
+    comparison with Dwarf.
+    """
+    while True:
+        if counter is not None:
+            counter[0] += 1
+        nxt = tree.child(node, dim, value)
+        if nxt is None:
+            nxt = tree.link_target(node, dim, value)
+        if nxt is not None:
+            return nxt
+        last = tree.last_child_dim(node)
+        if last is None or last >= dim:
+            return None
+        kids = tree.children_in_dim(node, last)
+        if len(kids) != 1:
+            return None
+        node = next(iter(kids.values()))
+
+
+def descend_to_class(tree: QCTree, node: int, counter=None) -> Optional[int]:
+    """Follow forced dimensions until a class (aggregate-bearing) node.
+
+    Used after all query values are matched: the remaining dimensions of
+    the class upper bound are forced by cover equivalence, each appearing
+    as the unique child in the node's last child-bearing dimension.
+    """
+    while tree.state[node] is None:
+        last = tree.last_child_dim(node)
+        if last is None:
+            return None
+        kids = tree.children_in_dim(node, last)
+        if len(kids) != 1:
+            return None
+        node = next(iter(kids.values()))
+        if counter is not None:
+            counter[0] += 1
+    return node
+
+
+def locate(tree: QCTree, cell: Cell, counter=None) -> Optional[int]:
+    """Return the class node answering point query ``cell``, or None.
+
+    The returned node's upper bound is the closure of ``cell``; None means
+    the cell has an empty cover set.  ``counter`` (optional one-element
+    list) accumulates the number of node visits.
+    """
+    if len(cell) != tree.n_dims:
+        raise QueryError(
+            f"query cell {cell!r} has {len(cell)} positions, tree has "
+            f"{tree.n_dims} dimensions"
+        )
+    node = tree.root
+    for dim, value in enumerate(cell):
+        if value is ALL:
+            continue
+        node = search_route(tree, node, dim, value, counter=counter)
+        if node is None:
+            return None
+    node = descend_to_class(tree, node, counter=counter)
+    if node is None:
+        return None
+    if not generalizes(cell, tree.upper_bound_of(node)):
+        return None
+    return node
+
+
+def point_query(tree: QCTree, cell: Cell):
+    """Answer a point query: the aggregate value of ``cell`` or None."""
+    node = locate(tree, cell)
+    return None if node is None else tree.value_at(node)
+
+
+def point_query_raw(tree: QCTree, table, raw_cell):
+    """Point query with user-facing labels, e.g. ``("S1", "*", "s")``.
+
+    Labels are encoded through ``table``'s dictionaries; a label absent
+    from its dimension means the cell cannot be in the cube, so the answer
+    is None rather than an error.  A cell of the wrong arity is a caller
+    bug and raises :class:`QueryError`.
+    """
+    from repro.errors import SchemaError
+
+    if len(raw_cell) != tree.n_dims:
+        raise QueryError(
+            f"query cell {raw_cell!r} has {len(raw_cell)} positions, tree "
+            f"has {tree.n_dims} dimensions"
+        )
+    try:
+        cell = table.encode_cell(raw_cell)
+    except SchemaError:
+        return None
+    return point_query(tree, cell)

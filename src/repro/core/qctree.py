@@ -1,0 +1,452 @@
+"""The QC-tree data structure (Definition 1 of the paper).
+
+A QC-tree stores the set of class upper bounds of a cover quotient cube as
+a prefix-shared trie plus *drill-down links*:
+
+* every node except the root carries a ``(dimension, value)`` label;
+* dimensions strictly increase along every root path;
+* for each class upper bound there is exactly one node whose root path
+  spells the bound's non-``*`` values; that node stores the class's
+  aggregate state;
+* a link labeled ``(dimension, value)`` records a direct drill-down from
+  one class to another whose upper-bound path lies outside the source's
+  subtree.
+
+Nodes are rows in parallel lists indexed by integer id (root is 0), which
+keeps the structure compact, fast to copy, and easy to serialize.  Edge and
+link maps are nested dicts ``{dim: {value: node_id}}`` so both "follow
+label" and "last dimension with a child" (needed by Lemma 2's query
+fallback) are O(1)-ish.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.cells import ALL, Cell, format_cell
+from repro.cube.aggregates import AggregateFunction, values_close
+from repro.errors import QueryError
+
+
+class QCTree:
+    """A quotient cube tree over ``n_dims`` dimensions.
+
+    Construct via :func:`repro.core.construct.build_qctree`; the methods
+    here are structural primitives shared by construction, queries, and
+    maintenance.
+    """
+
+    def __init__(self, n_dims: int, aggregate: AggregateFunction,
+                 dim_names=None):
+        if n_dims <= 0:
+            raise QueryError("a QC-tree needs at least one dimension")
+        self.n_dims = n_dims
+        self.aggregate = aggregate
+        self.dim_names = (
+            tuple(dim_names) if dim_names is not None
+            else tuple(f"D{j}" for j in range(n_dims))
+        )
+        self.node_dim: list = [-1]
+        self.node_value: list = [None]
+        self.parent: list = [-1]
+        self.children: list = [{}]   # node -> {dim: {value: child_id}}
+        self.links: list = [{}]      # node -> {dim: {value: target_id}}
+        self.state: list = [None]    # node -> aggregate state or None
+        self.root = 0
+
+    # -- size & iteration ---------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of live nodes, including the root."""
+        return len(self.node_dim) - len(self._free())
+
+    def _free(self) -> set:
+        return getattr(self, "_free_ids", set())
+
+    @property
+    def n_links(self) -> int:
+        """Total number of drill-down links."""
+        free = self._free()
+        return sum(
+            len(by_value)
+            for node, by_dim in enumerate(self.links)
+            if node not in free
+            for by_value in by_dim.values()
+        )
+
+    @property
+    def n_classes(self) -> int:
+        """Number of class (aggregate-carrying) nodes."""
+        free = self._free()
+        return sum(
+            1
+            for node, s in enumerate(self.state)
+            if s is not None and node not in free
+        )
+
+    def iter_nodes(self) -> Iterator[int]:
+        """Yield live node ids in preorder."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            for dim in sorted(self.children[node], reverse=True):
+                for value in sorted(self.children[node][dim], reverse=True):
+                    stack.append(self.children[node][dim][value])
+
+    def iter_class_nodes(self) -> Iterator[int]:
+        """Yield node ids that carry an aggregate state, in preorder."""
+        for node in self.iter_nodes():
+            if self.state[node] is not None:
+                yield node
+
+    def iter_links(self) -> Iterator[tuple]:
+        """Yield links as ``(source, dim, value, target)``."""
+        free = self._free()
+        for node, by_dim in enumerate(self.links):
+            if node in free:
+                continue
+            for dim, by_value in by_dim.items():
+                for value, target in by_value.items():
+                    yield node, dim, value, target
+
+    # -- structural primitives ----------------------------------------------
+
+    def child(self, node: int, dim: int, value) -> Optional[int]:
+        """Tree child of ``node`` labeled ``(dim, value)``, or None."""
+        by_dim = self.children[node].get(dim)
+        if by_dim is None:
+            return None
+        return by_dim.get(value)
+
+    def link_target(self, node: int, dim: int, value) -> Optional[int]:
+        """Link target of ``node`` labeled ``(dim, value)``, or None."""
+        by_dim = self.links[node].get(dim)
+        if by_dim is None:
+            return None
+        return by_dim.get(value)
+
+    def last_child_dim(self, node: int) -> Optional[int]:
+        """The largest dimension for which ``node`` has a tree child."""
+        by_dim = self.children[node]
+        return max(by_dim) if by_dim else None
+
+    def children_in_dim(self, node: int, dim: int) -> dict:
+        """Mapping ``value -> child`` of ``node``'s tree children in ``dim``."""
+        return self.children[node].get(dim, {})
+
+    def _new_node(self, parent: int, dim: int, value) -> int:
+        free = self._free()
+        if free:
+            node = free.pop()
+            self.node_dim[node] = dim
+            self.node_value[node] = value
+            self.parent[node] = parent
+            self.children[node] = {}
+            self.links[node] = {}
+            self.state[node] = None
+        else:
+            node = len(self.node_dim)
+            self.node_dim.append(dim)
+            self.node_value.append(value)
+            self.parent.append(parent)
+            self.children.append({})
+            self.links.append({})
+            self.state.append(None)
+        self.children[parent].setdefault(dim, {})[value] = node
+        return node
+
+    def insert_path(self, upper_bound: Cell) -> int:
+        """Ensure the root path for ``upper_bound`` exists; return its node.
+
+        The path spells the bound's non-``*`` values in dimension order,
+        reusing existing prefix nodes (prefix sharing).
+        """
+        node = self.root
+        for dim, value in enumerate(upper_bound):
+            if value is ALL:
+                continue
+            nxt = self.child(node, dim, value)
+            if nxt is None:
+                nxt = self._new_node(node, dim, value)
+            node = nxt
+        return node
+
+    def find_path(self, upper_bound: Cell) -> Optional[int]:
+        """Node whose root path spells ``upper_bound``, or None."""
+        node = self.root
+        for dim, value in enumerate(upper_bound):
+            if value is ALL:
+                continue
+            node = self.child(node, dim, value)
+            if node is None:
+                return None
+        return node
+
+    def path_prefix_node(self, upper_bound: Cell, through_dim: int) -> Optional[int]:
+        """Node for the prefix of ``upper_bound``'s path through ``through_dim``.
+
+        Used when adding a drill-down link: per Definition 1 the link
+        targets the node spelling the target bound's values up to and
+        including the link's dimension.
+        """
+        node = self.root
+        for dim, value in enumerate(upper_bound):
+            if dim > through_dim:
+                break
+            if value is ALL:
+                continue
+            node = self.child(node, dim, value)
+            if node is None:
+                return None
+        return node
+
+    def add_link(self, source: int, dim: int, value, target: int) -> None:
+        """Add a drill-down link unless a tree edge already realizes it.
+
+        Definition 1 requires "a tree edge or a link, but not both": when
+        the source already has a tree child with this exact label and
+        target, the edge covers the drill-down and no link is stored.
+        Re-adding an identical link is a no-op.
+        """
+        if self.child(source, dim, value) == target:
+            return
+        self.links[source].setdefault(dim, {})[value] = target
+
+    def remove_link(self, source: int, dim: int, value) -> None:
+        """Drop the link labeled ``(dim, value)`` out of ``source`` if present."""
+        by_dim = self.links[source].get(dim)
+        if by_dim is not None:
+            by_dim.pop(value, None)
+            if not by_dim:
+                del self.links[source][dim]
+
+    def set_state(self, node: int, state) -> None:
+        """Attach an aggregate state, making ``node`` a class node."""
+        self.state[node] = state
+
+    def incoming_links(self) -> dict:
+        """``{target: {(src, dim, value), ...}}`` over all current links.
+
+        Batch maintenance builds this once and keeps it current across its
+        own link removals, then passes it to :meth:`clear_state_and_prune`
+        to avoid re-scanning the tree per pruned class.
+        """
+        incoming: dict = {}
+        for src, dim, value, target in self.iter_links():
+            incoming.setdefault(target, set()).add((src, dim, value))
+        return incoming
+
+    def clear_state_and_prune(self, node: int, incoming=None) -> None:
+        """Remove a class node's state; prune now-useless trailing nodes.
+
+        A node is pruned when it has no state, no children, and no incoming
+        links; pruning walks up the path.  Links *out of* pruned nodes are
+        discarded (and reflected in ``incoming`` when provided).  Callers
+        are responsible for first removing links *into* nodes they expect
+        to disappear (maintenance does).  ``incoming`` defaults to a fresh
+        :meth:`incoming_links` snapshot.
+        """
+        self.state[node] = None
+        if incoming is None:
+            incoming = self.incoming_links()
+        while (
+            node != self.root
+            and self.state[node] is None
+            and not self.children[node]
+            and not incoming.get(node)
+        ):
+            parent = self.parent[node]
+            dim, value = self.node_dim[node], self.node_value[node]
+            by_dim = self.children[parent][dim]
+            del by_dim[value]
+            if not by_dim:
+                del self.children[parent][dim]
+            for out_dim, by_value in self.links[node].items():
+                for out_value, target in by_value.items():
+                    entries = incoming.get(target)
+                    if entries:
+                        entries.discard((node, out_dim, out_value))
+            self.links[node] = {}
+            self._free_ids = self._free()
+            self._free_ids.add(node)
+            node = parent
+
+    def copy(self) -> "QCTree":
+        """Structural copy sharing immutable labels and states.
+
+        Maintenance mutates trees in place; benchmarks and what-if flows
+        copy first.  Aggregate states are immutable values (ints, floats,
+        tuples), so sharing them is safe.
+        """
+        clone = QCTree(self.n_dims, self.aggregate, dim_names=self.dim_names)
+        clone.node_dim = list(self.node_dim)
+        clone.node_value = list(self.node_value)
+        clone.parent = list(self.parent)
+        clone.children = [
+            {dim: dict(by_value) for dim, by_value in node.items()}
+            for node in self.children
+        ]
+        clone.links = [
+            {dim: dict(by_value) for dim, by_value in node.items()}
+            for node in self.links
+        ]
+        clone.state = list(self.state)
+        if self._free():
+            clone._free_ids = set(self._free())
+        return clone
+
+    # -- cell <-> node -------------------------------------------------------
+
+    def upper_bound_of(self, node: int) -> Cell:
+        """Reconstruct the cell spelled by ``node``'s root path."""
+        out = [ALL] * self.n_dims
+        while node != self.root:
+            out[self.node_dim[node]] = self.node_value[node]
+            node = self.parent[node]
+        return tuple(out)
+
+    def value_at(self, node: int):
+        """User-facing aggregate value at a class node (None elsewhere)."""
+        state = self.state[node]
+        return None if state is None else self.aggregate.value(state)
+
+    def class_upper_bounds(self) -> dict:
+        """Mapping ``upper_bound -> aggregate value`` over all classes."""
+        return {
+            self.upper_bound_of(node): self.value_at(node)
+            for node in self.iter_class_nodes()
+        }
+
+    # -- comparison & display --------------------------------------------------
+
+    def signature(self) -> tuple:
+        """Order-independent structural signature (paths, links, values).
+
+        Two QC-trees over the same data must have equal signatures up to
+        float tolerance; :meth:`equivalent_to` performs the tolerant
+        comparison.  Node ids are abstracted away by describing nodes
+        through their root paths.
+        """
+        from repro.core.cells import dict_sort_key
+
+        classes = tuple(
+            sorted(
+                (
+                    (self.upper_bound_of(n), self.value_at(n))
+                    for n in self.iter_class_nodes()
+                ),
+                key=lambda pair: dict_sort_key(pair[0]),
+            )
+        )
+        paths = tuple(
+            sorted(
+                (self.upper_bound_of(n) for n in self.iter_nodes()),
+                key=dict_sort_key,
+            )
+        )
+        links = tuple(
+            sorted(
+                (
+                    (self.upper_bound_of(src), dim, value, self.upper_bound_of(dst))
+                    for src, dim, value, dst in self.iter_links()
+                ),
+                key=lambda item: (
+                    dict_sort_key(item[0]), item[1], item[2],
+                    dict_sort_key(item[3]),
+                ),
+            )
+        )
+        return paths, links, classes
+
+    def equivalent_to(self, other: "QCTree", rel_tol: float = 1e-9) -> bool:
+        """Structural equality with float-tolerant aggregate comparison."""
+        mine, theirs = self.signature(), other.signature()
+        if mine[0] != theirs[0] or mine[1] != theirs[1]:
+            return False
+        my_classes, their_classes = mine[2], theirs[2]
+        if len(my_classes) != len(their_classes):
+            return False
+        for (ub_a, val_a), (ub_b, val_b) in zip(my_classes, their_classes):
+            if ub_a != ub_b or not values_close(val_a, val_b, rel_tol=rel_tol):
+                return False
+        return True
+
+    def check_invariants(self) -> None:
+        """Assert the QC-tree's structural invariants (for tests).
+
+        Checks: parent/child consistency, strictly increasing dimensions
+        along paths, labels matching edge keys, link endpoints alive, no
+        link duplicating a tree edge, and free-list hygiene.
+        """
+        free = self._free()
+        live = set(self.iter_nodes())
+        assert self.root in live
+        assert not (live & free), "freed node still reachable"
+        for node in live:
+            if node != self.root:
+                parent = self.parent[node]
+                dim, value = self.node_dim[node], self.node_value[node]
+                assert parent in live, f"node {node} has dead parent"
+                assert self.children[parent][dim][value] == node
+                assert dim > self.node_dim[parent] or parent == self.root
+            for dim, by_value in self.children[node].items():
+                assert dim > self.node_dim[node] or node == self.root
+                for value, child in by_value.items():
+                    assert self.node_dim[child] == dim
+                    assert self.node_value[child] == value
+            for dim, by_value in self.links[node].items():
+                for value, target in by_value.items():
+                    assert target in live, "link to dead node"
+                    assert self.child(node, dim, value) != target, (
+                        "link duplicates a tree edge"
+                    )
+
+    def stats(self) -> dict:
+        """Size statistics used by the storage model and the benchmarks."""
+        return {
+            "nodes": self.n_nodes,
+            "tree_edges": self.n_nodes - 1,
+            "links": self.n_links,
+            "classes": self.n_classes,
+        }
+
+    def dump(self, decoder=None) -> str:
+        """Multi-line rendering in the spirit of the paper's Figure 4."""
+        lines = []
+
+        def label(node):
+            if node == self.root:
+                text = "Root"
+            else:
+                dim, value = self.node_dim[node], self.node_value[node]
+                raw = decoder(dim, value) if decoder else value
+                text = f"{self.dim_names[dim]}={raw}"
+            if self.state[node] is not None:
+                text += f" : {self.value_at(node)}"
+            return text
+
+        def walk(node, depth):
+            lines.append("  " * depth + label(node))
+            for dim in sorted(self.links[node]):
+                for value in sorted(self.links[node][dim]):
+                    target = self.links[node][dim][value]
+                    raw = decoder(dim, value) if decoder else value
+                    lines.append(
+                        "  " * (depth + 1)
+                        + f"~~{self.dim_names[dim]}={raw}~~> "
+                        + format_cell(self.upper_bound_of(target), decoder)
+                    )
+            for dim in sorted(self.children[node]):
+                for value in sorted(self.children[node][dim]):
+                    walk(self.children[node][dim][value], depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"QCTree(nodes={self.n_nodes}, links={self.n_links}, "
+            f"classes={self.n_classes}, aggregate={self.aggregate.name})"
+        )

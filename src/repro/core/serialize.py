@@ -1,0 +1,158 @@
+"""Versioned persistence for QC-trees.
+
+A warehouse summary structure must survive process restarts, so QC-trees
+serialize to a compact self-describing format: a magic line followed by
+one JSON document holding the dimension metadata, the aggregate spec, the
+node table (label dim, label value, parent, aggregate state), and the
+link list.  Node ids are compacted on save, so freed slots never leak
+into the file.
+
+Aggregate states are ints, floats, or (nested) tuples; JSON carries them
+as lists, which :func:`load_qctree` converts back.  Only aggregates built
+through :func:`repro.cube.aggregates.make_aggregate` round-trip (custom
+subclasses have no spec).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.core.qctree import QCTree
+from repro.cube.aggregates import aggregate_spec, make_aggregate
+from repro.errors import SchemaError, SerializationError
+
+_MAGIC = "QCTREE/1"
+
+
+def _spec_to_json(spec):
+    """Render an aggregate spec in a JSON-safe, parseable form.
+
+    Tuples become the string call form (``("sum", "m")`` -> ``"sum(m)"``),
+    which :func:`make_aggregate` parses back; lists recurse.  Measure names
+    containing parentheses are rejected rather than silently corrupted.
+    """
+    if isinstance(spec, tuple):
+        tag, measure = spec
+        if "(" in str(measure) or ")" in str(measure):
+            raise SerializationError(
+                f"measure name {measure!r} cannot be serialized "
+                "(contains parentheses)"
+            )
+        return f"{tag}({measure})"
+    if isinstance(spec, list):
+        return [_spec_to_json(s) for s in spec]
+    return spec
+
+
+def _state_to_json(state):
+    if isinstance(state, tuple):
+        return [_state_to_json(s) for s in state]
+    return state
+
+
+def _state_from_json(state):
+    if isinstance(state, list):
+        return tuple(_state_from_json(s) for s in state)
+    return state
+
+
+def dump_qctree(tree: QCTree, fp) -> None:
+    """Write ``tree`` to a text file object."""
+    order = list(tree.iter_nodes())
+    remap = {node: i for i, node in enumerate(order)}
+    nodes = []
+    for node in order:
+        nodes.append(
+            [
+                tree.node_dim[node],
+                tree.node_value[node],
+                remap.get(tree.parent[node], -1),
+                _state_to_json(tree.state[node]),
+            ]
+        )
+    links = [
+        [remap[src], dim, value, remap[tgt]]
+        for src, dim, value, tgt in tree.iter_links()
+    ]
+    document = {
+        "n_dims": tree.n_dims,
+        "dim_names": list(tree.dim_names),
+        "aggregate": _spec_to_json(aggregate_spec(tree.aggregate)),
+        "nodes": nodes,
+        "links": links,
+    }
+    fp.write(_MAGIC + "\n")
+    json.dump(document, fp)
+
+
+def load_qctree(fp) -> QCTree:
+    """Read a QC-tree written by :func:`dump_qctree`.
+
+    Raises :class:`SerializationError` on bad magic, malformed JSON, or
+    structurally inconsistent content.
+    """
+    magic = fp.readline().strip()
+    if magic != _MAGIC:
+        raise SerializationError(
+            f"bad magic {magic!r}; expected {_MAGIC!r}"
+        )
+    try:
+        document = json.load(fp)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"malformed QC-tree payload: {exc}") from exc
+    try:
+        aggregate = make_aggregate(document["aggregate"])
+        tree = QCTree(
+            document["n_dims"], aggregate, dim_names=document["dim_names"]
+        )
+        nodes = document["nodes"]
+        if not nodes:
+            raise SerializationError("node table is empty (no root)")
+        # Node 0 must be the root (preorder dump starts there).
+        root_dim, _, root_parent, root_state = (
+            nodes[0][0], nodes[0][1], nodes[0][2], nodes[0][3]
+        )
+        if root_dim != -1 or root_parent != -1:
+            raise SerializationError("first node is not a root")
+        tree.set_state(tree.root, _state_from_json(root_state))
+        id_map = {0: tree.root}
+        for i, (dim, value, parent, state) in enumerate(nodes[1:], start=1):
+            if parent not in id_map:
+                raise SerializationError(
+                    f"node {i} references unknown parent {parent}"
+                )
+            node = tree._new_node(id_map[parent], dim, value)
+            tree.set_state(node, _state_from_json(state))
+            id_map[i] = node
+        for src, dim, value, tgt in document["links"]:
+            tree.add_link(id_map[src], dim, value, id_map[tgt])
+    except SerializationError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError, SchemaError) as exc:
+        raise SerializationError(f"corrupt QC-tree payload: {exc}") from exc
+    return tree
+
+
+def save_qctree(tree: QCTree, path) -> None:
+    """Write ``tree`` to ``path``."""
+    with open(path, "w") as fp:
+        dump_qctree(tree, fp)
+
+
+def load_qctree_from(path) -> QCTree:
+    """Read a QC-tree from ``path``."""
+    with open(path) as fp:
+        return load_qctree(fp)
+
+
+def dumps_qctree(tree: QCTree) -> str:
+    """Serialize ``tree`` to a string."""
+    buffer = io.StringIO()
+    dump_qctree(tree, buffer)
+    return buffer.getvalue()
+
+
+def loads_qctree(text: str) -> QCTree:
+    """Deserialize a QC-tree from a string."""
+    return load_qctree(io.StringIO(text))

@@ -1,0 +1,265 @@
+"""``QCWarehouse`` — the quotient cube-based data warehouse, in one object.
+
+The paper recommends building a general-purpose warehouse on the cover
+quotient cube; this façade wires the pieces together: the base table, the
+QC-tree summary, the measure index for iceberg queries, incremental
+maintenance, semantic exploration, and persistence.  Queries accept raw
+dimension labels (``"S1"``, ``"*"``) and return decoded results.
+
+Example
+-------
+>>> schema = Schema(dimensions=("Store", "Product", "Season"), measures=("Sale",))
+>>> wh = QCWarehouse.from_records(
+...     [("S1", "P1", "s", 6.0), ("S1", "P2", "s", 12.0), ("S2", "P1", "f", 9.0)],
+...     schema, aggregate=("avg", "Sale"))
+>>> wh.point(("S2", "*", "f"))
+9.0
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.construct import build_qctree
+from repro.core.explore import (
+    class_of,
+    drill_into_class,
+    intelligent_rollup,
+    lattice_drilldowns,
+    lattice_rollups,
+    rollup_exceptions,
+)
+from repro.core.iceberg import MeasureIndex, constrained_iceberg, pure_iceberg
+from repro.core.maintenance.delete import apply_deletions
+from repro.core.maintenance.insert import apply_insertions
+from repro.core.point_query import point_query_raw
+from repro.core.range_query import range_query_raw
+from repro.core.serialize import load_qctree_from, save_qctree
+from repro.cube.aggregates import make_aggregate
+from repro.cube.schema import Schema
+from repro.cube.table import BaseTable
+from repro.errors import SchemaError
+
+
+class QCWarehouse:
+    """A queryable, maintainable OLAP warehouse backed by a QC-tree."""
+
+    def __init__(self, table: BaseTable, aggregate="count",
+                 tree=None, index_key=None):
+        self.table = table
+        self.aggregate = make_aggregate(aggregate)
+        self.tree = tree if tree is not None else build_qctree(table, self.aggregate)
+        self._index: Optional[MeasureIndex] = None
+        self._index_key = index_key
+
+    @classmethod
+    def from_records(cls, records, schema: Schema, aggregate="count",
+                     index_key=None) -> "QCWarehouse":
+        """Build a warehouse from raw records."""
+        return cls(BaseTable.from_records(records, schema), aggregate,
+                   index_key=index_key)
+
+    # -- queries -------------------------------------------------------------
+
+    def point(self, raw_cell):
+        """Point query with raw labels (``"*"`` / None / ALL for any)."""
+        return point_query_raw(self.tree, self.table, raw_cell)
+
+    def range(self, raw_spec) -> dict:
+        """Range query with raw labels; returns ``{decoded cell: value}``."""
+        return range_query_raw(self.tree, self.table, raw_spec)
+
+    def iceberg(self, threshold, op: str = ">=") -> list:
+        """Pure iceberg query: classes whose aggregate clears the threshold.
+
+        Returns ``[(decoded upper bound, value), ...]``.
+        """
+        classes = pure_iceberg(self.tree, threshold, op=op, index=self.index)
+        return [(self.table.decode_cell(ub), value) for ub, value in classes]
+
+    def iceberg_in_range(self, raw_spec, threshold, op: str = ">=",
+                         strategy: str = "filter") -> dict:
+        """Constrained iceberg query; returns ``{decoded cell: value}``."""
+        encoded = self._encode_range(raw_spec)
+        if encoded is None:
+            return {}
+        results = constrained_iceberg(
+            self.tree, encoded, threshold, op=op, strategy=strategy,
+            index=self.index if strategy == "mark" else None,
+            key=self._index_key,
+        )
+        return {self.table.decode_cell(c): v for c, v in results.items()}
+
+    def _encode_range(self, raw_spec):
+        from repro.core.cells import ALL
+
+        encoded = []
+        for dim, entry in enumerate(raw_spec):
+            if entry is ALL or entry is None or entry == "*":
+                encoded.append(ALL)
+                continue
+            values = (
+                entry
+                if isinstance(entry, (list, tuple, set, frozenset))
+                else [entry]
+            )
+            codes = []
+            for value in values:
+                try:
+                    codes.append(self.table.encode_value(dim, value))
+                except SchemaError:
+                    continue
+            if not codes:
+                return None
+            encoded.append(codes)
+        return encoded
+
+    @property
+    def index(self) -> MeasureIndex:
+        """The measure index, (re)built lazily after updates."""
+        if self._index is None:
+            self._index = MeasureIndex(self.tree, key=self._index_key)
+        return self._index
+
+    # -- maintenance ------------------------------------------------------------
+
+    def insert(self, records) -> None:
+        """Insert raw records incrementally (batch)."""
+        self.table = apply_insertions(self.tree, self.table, records)
+        self._index = None
+
+    def delete(self, records) -> None:
+        """Delete raw records incrementally (batch, matched on dimensions)."""
+        self.table = apply_deletions(self.tree, self.table, records)
+        self._index = None
+
+    def modify(self, old_records, new_records) -> None:
+        """Replace records: the paper's "modifications can be simulated by
+        deletions and insertions" (§3.3) as one warehouse operation."""
+        self.delete(old_records)
+        self.insert(new_records)
+
+    def what_if(self, insertions=(), deletions=()) -> dict:
+        """What-if analysis (§1): the class-level impact of a hypothetical
+        update, without touching this warehouse.
+
+        Applies the deletions then the insertions to *copies* of the tree
+        and table and diffs the class structure.  Returns a dict with
+        ``added``, ``removed``, and ``changed`` mappings from decoded
+        upper bounds to aggregate values (``changed`` maps to
+        ``(before, after)`` pairs).
+        """
+        from repro.cube.aggregates import values_close
+
+        before = {
+            self.table.decode_cell(ub): value
+            for ub, value in self.tree.class_upper_bounds().items()
+        }
+        tree = self.tree.copy()
+        table = self.table
+        if deletions:
+            table = apply_deletions(tree, table, deletions)
+        if insertions:
+            table = apply_insertions(tree, table, insertions)
+        after = {
+            table.decode_cell(ub): value
+            for ub, value in tree.class_upper_bounds().items()
+        }
+        return {
+            "added": {ub: v for ub, v in after.items() if ub not in before},
+            "removed": {
+                ub: v for ub, v in before.items() if ub not in after
+            },
+            "changed": {
+                ub: (before[ub], after[ub])
+                for ub in before.keys() & after.keys()
+                if not values_close(before[ub], after[ub])
+            },
+        }
+
+    # -- exploration ------------------------------------------------------------
+
+    def class_of(self, raw_cell):
+        """The class containing a cell: ``(decoded upper bound, value)``."""
+        view = class_of(self.tree, self.table.encode_cell(raw_cell))
+        if view is None:
+            return None
+        return self.table.decode_cell(view.upper_bound), view.value
+
+    def rollup(self, raw_cell) -> list:
+        """Intelligent roll-up: most general contexts with the same value."""
+        views = intelligent_rollup(self.tree, self.table.encode_cell(raw_cell))
+        return [(self.table.decode_cell(v.upper_bound), v.value) for v in views]
+
+    def rollup_exceptions(self, raw_cell) -> list:
+        """Classes inside the roll-up region that break the value."""
+        views = rollup_exceptions(self.tree, self.table.encode_cell(raw_cell))
+        return [(self.table.decode_cell(v.upper_bound), v.value) for v in views]
+
+    def drilldowns(self, raw_cell) -> list:
+        """One-step drill-down classes from a cell's class."""
+        views = lattice_drilldowns(
+            self.tree, self.table.encode_cell(raw_cell), self.table
+        )
+        return [(self.table.decode_cell(v.upper_bound), v.value) for v in views]
+
+    def rollups(self, raw_cell) -> list:
+        """One-step roll-up classes from a cell's class."""
+        views = lattice_rollups(
+            self.tree, self.table.encode_cell(raw_cell), self.table
+        )
+        return [(self.table.decode_cell(v.upper_bound), v.value) for v in views]
+
+    def open_class(self, raw_cell):
+        """Drill into a class: upper bound, lower bounds, members (decoded)."""
+        structure = drill_into_class(
+            self.tree, self.table.encode_cell(raw_cell), self.table
+        )
+        return {
+            "upper_bound": self.table.decode_cell(structure.upper_bound),
+            "lower_bounds": [
+                self.table.decode_cell(lb) for lb in structure.lower_bounds
+            ],
+            "members": [self.table.decode_cell(m) for m in structure.members],
+            "value": structure.value,
+        }
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self, tree_path, table_path=None) -> None:
+        """Persist the QC-tree (and optionally the base table as CSV)."""
+        save_qctree(self.tree, tree_path)
+        if table_path is not None:
+            self.table.to_csv(table_path)
+
+    @classmethod
+    def load(cls, tree_path, table_path, schema: Schema,
+             index_key=None) -> "QCWarehouse":
+        """Restore a warehouse persisted by :meth:`save`."""
+        tree = load_qctree_from(tree_path)
+        table = BaseTable.from_csv(table_path, schema)
+        wh = cls.__new__(cls)
+        wh.table = table
+        wh.tree = tree
+        wh.aggregate = tree.aggregate
+        wh._index = None
+        wh._index_key = index_key
+        return wh
+
+    # -- reporting -------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Summary counts for the warehouse and its tree."""
+        tree_stats = self.tree.stats()
+        tree_stats.update(
+            n_rows=self.table.n_rows,
+            n_dims=self.table.n_dims,
+            aggregate=self.aggregate.name,
+        )
+        return tree_stats
+
+    def __repr__(self):
+        return (
+            f"QCWarehouse(rows={self.table.n_rows}, "
+            f"classes={self.tree.n_classes}, aggregate={self.aggregate.name})"
+        )

@@ -1,0 +1,276 @@
+"""Aggregate functions over base-table rows.
+
+Cover-equivalent cells have the same value for *any* aggregate on any
+measure (Lemma 1), so a quotient-cube warehouse stores one aggregate state
+per class.  To make incremental maintenance cheap, aggregates here expose a
+*state* protocol rather than bare values:
+
+``state(table, rows)``
+    Build the aggregate state of a set of rows.
+``merge(a, b)``
+    Combine two disjoint states (used by insertion: old class state merged
+    with the delta's state).
+``subtract(total, part)``
+    Remove a sub-state (used by deletion).  Only *subtractable* aggregates
+    (COUNT, SUM, AVG) support it; MIN/MAX raise and force the maintenance
+    layer to recompute the affected classes from the base table.
+``value(state)``
+    The user-facing value.
+
+States are small plain objects (ints, floats, tuples) so they compare,
+hash into serialized trees, and copy trivially.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import MaintenanceError, SchemaError
+
+
+class AggregateFunction:
+    """Base class for aggregate functions (see module docstring)."""
+
+    #: Human-readable name, e.g. ``"sum(Sale)"``.
+    name: str = "?"
+    #: Whether :meth:`subtract` is supported.
+    subtractable: bool = False
+
+    def state(self, table, rows: Sequence[int]):
+        """Return the aggregate state of ``rows`` (indices into ``table``)."""
+        raise NotImplementedError
+
+    def merge(self, a, b):
+        """Combine the states of two disjoint row sets."""
+        raise NotImplementedError
+
+    def subtract(self, total, part):
+        """Remove ``part`` from ``total``; raises if not subtractable."""
+        raise MaintenanceError(
+            f"aggregate {self.name} is not subtractable; "
+            "deletion must recompute affected classes"
+        )
+
+    def value(self, state):
+        """Return the user-facing value of a state."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<{self.__class__.__name__} {self.name}>"
+
+
+class Count(AggregateFunction):
+    """COUNT(*) — the row count; state is a plain int."""
+
+    subtractable = True
+
+    def __init__(self):
+        self.name = "count"
+
+    def state(self, table, rows):
+        return len(rows)
+
+    def merge(self, a, b):
+        return a + b
+
+    def subtract(self, total, part):
+        if part > total:
+            raise MaintenanceError(
+                f"count underflow: removing {part} from {total}"
+            )
+        return total - part
+
+    def value(self, state):
+        return state
+
+
+class _MeasureAggregate(AggregateFunction):
+    """Shared plumbing for aggregates bound to a single measure column."""
+
+    def __init__(self, measure):
+        self.measure = measure
+        self.name = f"{self._tag}({measure})"
+
+    def _column(self, table):
+        idx = (
+            self.measure
+            if isinstance(self.measure, int)
+            else table.schema.measure_index(self.measure)
+        )
+        return table.measures[:, idx]
+
+
+class Sum(_MeasureAggregate):
+    """SUM(measure); state is the float total."""
+
+    _tag = "sum"
+    subtractable = True
+
+    def state(self, table, rows):
+        column = self._column(table)
+        return float(sum(column[i] for i in rows))
+
+    def merge(self, a, b):
+        return a + b
+
+    def subtract(self, total, part):
+        return total - part
+
+    def value(self, state):
+        return state
+
+
+class Min(_MeasureAggregate):
+    """MIN(measure); state is the float minimum.  Not subtractable."""
+
+    _tag = "min"
+    subtractable = False
+
+    def state(self, table, rows):
+        column = self._column(table)
+        return float(min(column[i] for i in rows))
+
+    def merge(self, a, b):
+        return a if a <= b else b
+
+    def value(self, state):
+        return state
+
+
+class Max(_MeasureAggregate):
+    """MAX(measure); state is the float maximum.  Not subtractable."""
+
+    _tag = "max"
+    subtractable = False
+
+    def state(self, table, rows):
+        column = self._column(table)
+        return float(max(column[i] for i in rows))
+
+    def merge(self, a, b):
+        return a if a >= b else b
+
+    def value(self, state):
+        return state
+
+
+class Average(_MeasureAggregate):
+    """AVG(measure); state is ``(sum, count)`` so it merges and subtracts."""
+
+    _tag = "avg"
+    subtractable = True
+
+    def state(self, table, rows):
+        column = self._column(table)
+        return (float(sum(column[i] for i in rows)), len(rows))
+
+    def merge(self, a, b):
+        return (a[0] + b[0], a[1] + b[1])
+
+    def subtract(self, total, part):
+        count = total[1] - part[1]
+        if count < 0:
+            raise MaintenanceError("avg count underflow during deletion")
+        return (total[0] - part[0], count)
+
+    def value(self, state):
+        total, count = state
+        return total / count if count else math.nan
+
+
+class MultiAggregate(AggregateFunction):
+    """Several aggregates evaluated together; state/value are tuples."""
+
+    def __init__(self, parts: Sequence[AggregateFunction]):
+        self.parts = tuple(parts)
+        if not self.parts:
+            raise SchemaError("MultiAggregate needs at least one part")
+        self.name = "multi(" + ", ".join(p.name for p in self.parts) + ")"
+        self.subtractable = all(p.subtractable for p in self.parts)
+
+    def state(self, table, rows):
+        return tuple(p.state(table, rows) for p in self.parts)
+
+    def merge(self, a, b):
+        return tuple(p.merge(x, y) for p, x, y in zip(self.parts, a, b))
+
+    def subtract(self, total, part):
+        return tuple(
+            p.subtract(x, y) for p, x, y in zip(self.parts, total, part)
+        )
+
+    def value(self, state):
+        return tuple(p.value(s) for p, s in zip(self.parts, state))
+
+
+_SIMPLE = {"count": Count}
+_MEASURED = {"sum": Sum, "min": Min, "max": Max, "avg": Average,
+             "average": Average, "mean": Average}
+
+
+def make_aggregate(spec) -> AggregateFunction:
+    """Build an aggregate from a compact spec.
+
+    Accepted specs::
+
+        make_aggregate("count")
+        make_aggregate(("sum", "Sale"))
+        make_aggregate("avg(Sale)")
+        make_aggregate([("sum", "Sale"), "count"])   # MultiAggregate
+        make_aggregate(existing_aggregate_instance)  # passthrough
+    """
+    if isinstance(spec, AggregateFunction):
+        return spec
+    if isinstance(spec, list):
+        return MultiAggregate([make_aggregate(s) for s in spec])
+    if isinstance(spec, tuple):
+        tag, measure = spec
+        tag = tag.lower()
+        if tag in _MEASURED:
+            return _MEASURED[tag](measure)
+        raise SchemaError(f"unknown aggregate tag {tag!r}")
+    if isinstance(spec, str):
+        text = spec.strip()
+        if text.lower() in _SIMPLE:
+            return _SIMPLE[text.lower()]()
+        if "(" in text and text.endswith(")"):
+            tag, _, rest = text.partition("(")
+            measure = rest[:-1].strip()
+            return make_aggregate((tag.strip().lower(), measure))
+    raise SchemaError(f"cannot interpret aggregate spec {spec!r}")
+
+
+def aggregate_spec(aggregate: AggregateFunction):
+    """The compact spec that rebuilds ``aggregate`` via :func:`make_aggregate`.
+
+    Used by serialization: ``make_aggregate(aggregate_spec(a))`` is
+    equivalent to ``a``.
+    """
+    if isinstance(aggregate, Count):
+        return "count"
+    if isinstance(aggregate, MultiAggregate):
+        return [aggregate_spec(p) for p in aggregate.parts]
+    if isinstance(aggregate, _MeasureAggregate):
+        return (aggregate._tag, aggregate.measure)
+    raise SchemaError(
+        f"cannot derive a spec for custom aggregate {aggregate!r}; "
+        "serialize trees built from registry aggregates only"
+    )
+
+
+def values_close(a, b, rel_tol: float = 1e-9, abs_tol: float = 1e-12) -> bool:
+    """Compare aggregate *values* with float tolerance, recursing on tuples.
+
+    Useful for asserting tree equivalence when rows were summed in a
+    different order.
+    """
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return len(a) == len(b) and all(
+            values_close(x, y, rel_tol, abs_tol) for x, y in zip(a, b)
+        )
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        if math.isnan(a) or math.isnan(b):
+            return math.isnan(a) and math.isnan(b)
+        return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+    return a == b

@@ -1,0 +1,96 @@
+"""Inverted index over a base table for fast cover-set computation.
+
+Maintenance repeatedly asks "which rows does this cell cover?" and "what
+is this cell's closure?".  A linear scan per question is O(rows x dims);
+this index stores one posting set per (dimension, value), answers a cover
+query by intersecting the postings of the cell's non-``*`` dimensions
+(smallest first), and memoizes closures.
+
+The index is immutable and cheap to build — O(rows x dims) — so the
+maintenance algorithms build one per batch over the relevant table.
+"""
+
+from __future__ import annotations
+
+from repro.core.cells import ALL, Cell, meet_of_tuples
+
+
+class CoverIndex:
+    """Posting-list index answering cover and closure queries for a table."""
+
+    def __init__(self, table=None, rows=None, n_dims=None):
+        if table is not None:
+            rows = table.rows
+            n_dims = table.n_dims
+        self.table = table
+        self._rows = rows
+        self._all_rows = frozenset(range(len(rows)))
+        postings = [dict() for _ in range(n_dims)]
+        for i, row in enumerate(rows):
+            for j, value in enumerate(row):
+                bucket = postings[j].get(value)
+                if bucket is None:
+                    postings[j][value] = {i}
+                else:
+                    bucket.add(i)
+        self._postings = postings
+        self._closure_cache: dict = {}
+        self._rows_cache: dict = {}
+
+    def rows(self, cell: Cell) -> frozenset:
+        """Row ids covered by ``cell`` (posting intersection, memoized)."""
+        cached = self._rows_cache.get(cell)
+        if cached is not None:
+            return cached
+        result = self._rows_uncached(cell)
+        self._rows_cache[cell] = result
+        return result
+
+    def _rows_uncached(self, cell: Cell) -> frozenset:
+        lists = []
+        for j, value in enumerate(cell):
+            if value is ALL:
+                continue
+            bucket = self._postings[j].get(value)
+            if not bucket:
+                return frozenset()
+            lists.append(bucket)
+        if not lists:
+            return self._all_rows
+        lists.sort(key=len)
+        result = set(lists[0])
+        for bucket in lists[1:]:
+            result &= bucket
+            if not result:
+                break
+        return frozenset(result)
+
+    def covers_any(self, cell: Cell) -> bool:
+        """True iff ``cell`` covers at least one row."""
+        return bool(self.rows(cell))
+
+    def closure(self, cell: Cell):
+        """Closure of ``cell`` over this table, or None (memoized)."""
+        cached = self._closure_cache.get(cell, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        rows = self.rows(cell)
+        result = (
+            meet_of_tuples(self._rows[i] for i in rows) if rows else None
+        )
+        self._closure_cache[cell] = result
+        return result
+
+    def closure_and_rows(self, cell: Cell):
+        """``(closure or None, covered row ids)`` in one call."""
+        rows = self.rows(cell)
+        if not rows:
+            return None, rows
+        cached = self._closure_cache.get(cell, _MISSING)
+        if cached is _MISSING:
+            cached = meet_of_tuples(self._rows[i] for i in rows)
+            self._closure_cache[cell] = cached
+        return cached, rows
+
+
+_MISSING = object()

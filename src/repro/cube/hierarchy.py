@@ -1,0 +1,192 @@
+"""Dimension hierarchies compiled into QC-tree range queries.
+
+The paper's range queries "enumerate each range as a set — this way, we
+can handle both numerical and hierarchical ranges" (§4.2).  This module
+supplies the hierarchy side: a :class:`Hierarchy` maps a dimension's leaf
+values to coarser levels (day → month → quarter, store → city → region),
+and :func:`compile_member` translates "all leaves under member m of level
+L" into exactly the value set a range query consumes.
+
+Hierarchies are data, not schema: they can be declared after the fact,
+several can coexist over one dimension, and the QC-tree is untouched —
+hierarchical queries are ordinary range queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import QueryError, SchemaError
+
+
+class Hierarchy:
+    """A named multi-level grouping over one dimension's leaf values.
+
+    ``levels`` maps each level name to a ``{leaf value: member}`` dict;
+    levels must be declared coarse-to-fine or fine-to-coarse consistently
+    by the caller — the class itself only requires that every level maps
+    the same leaf set.
+
+    Example
+    -------
+    >>> h = Hierarchy("time", {
+    ...     "month": {"d1": "Jan", "d2": "Jan", "d3": "Feb"},
+    ...     "quarter": {"d1": "Q1", "d2": "Q1", "d3": "Q1"},
+    ... })
+    >>> sorted(h.leaves("month", "Jan"))
+    ['d1', 'd2']
+    """
+
+    def __init__(self, dimension: str, levels: Mapping[str, Mapping]):
+        if not levels:
+            raise SchemaError("a hierarchy needs at least one level")
+        self.dimension = dimension
+        self._levels = {name: dict(mapping) for name, mapping in levels.items()}
+        leaf_sets = {frozenset(m) for m in self._levels.values()}
+        if len(leaf_sets) != 1:
+            raise SchemaError(
+                f"hierarchy levels over {dimension!r} disagree on the leaf set"
+            )
+        self._leaf_set = next(iter(leaf_sets))
+        # member -> leaves, per level
+        self._members: dict = {}
+        for name, mapping in self._levels.items():
+            groups: dict = {}
+            for leaf, member in mapping.items():
+                groups.setdefault(member, set()).add(leaf)
+            self._members[name] = groups
+
+    @property
+    def level_names(self) -> tuple:
+        return tuple(self._levels)
+
+    def members(self, level: str) -> tuple:
+        """The distinct members of a level, sorted by representation."""
+        return tuple(sorted(self._level(level), key=repr))
+
+    def leaves(self, level: str, member) -> frozenset:
+        """All leaf values grouped under ``member`` at ``level``."""
+        groups = self._level(level)
+        if member not in groups:
+            raise QueryError(
+                f"unknown member {member!r} of level {level!r} "
+                f"(have {sorted(map(repr, groups))})"
+            )
+        return frozenset(groups[member])
+
+    def member_of(self, level: str, leaf):
+        """The member a leaf value belongs to at ``level``."""
+        mapping = self._levels[self._check_level(level)]
+        if leaf not in mapping:
+            raise QueryError(
+                f"leaf {leaf!r} is not mapped by hierarchy level {level!r}"
+            )
+        return mapping[leaf]
+
+    def _check_level(self, level: str) -> str:
+        if level not in self._levels:
+            raise QueryError(
+                f"unknown hierarchy level {level!r}; have {self.level_names}"
+            )
+        return level
+
+    def _level(self, level: str) -> dict:
+        return self._members[self._check_level(level)]
+
+    def check_well_formed(self, domain: Iterable) -> None:
+        """Assert every leaf in ``domain`` is mapped (for load-time checks)."""
+        missing = set(domain) - self._leaf_set
+        if missing:
+            raise SchemaError(
+                f"hierarchy over {self.dimension!r} misses leaves: "
+                f"{sorted(map(repr, missing))[:10]}"
+            )
+
+    def __repr__(self):
+        return (
+            f"Hierarchy({self.dimension!r}, levels={list(self.level_names)}, "
+            f"leaves={len(self._leaf_set)})"
+        )
+
+
+class HierarchyMember:
+    """A range-spec entry meaning "all leaves under this member".
+
+    Used in :meth:`HierarchicalWarehouse.range` specs::
+
+        wh.range((Member("region", "west"), "*", "*"))
+    """
+
+    __slots__ = ("level", "member")
+
+    def __init__(self, level: str, member):
+        self.level = level
+        self.member = member
+
+    def __repr__(self):
+        return f"HierarchyMember({self.level!r}, {self.member!r})"
+
+
+def compile_member(hierarchy: Hierarchy, entry: HierarchyMember) -> list:
+    """Translate a hierarchy member into a range-query value list."""
+    return sorted(hierarchy.leaves(entry.level, entry.member), key=repr)
+
+
+def compile_spec(raw_spec, hierarchies: Mapping[int, Hierarchy]) -> tuple:
+    """Expand :class:`HierarchyMember` entries in a raw range spec.
+
+    ``hierarchies`` maps dimension index to the hierarchy governing it.
+    Plain entries pass through untouched.
+    """
+    out = []
+    for dim, entry in enumerate(raw_spec):
+        if isinstance(entry, HierarchyMember):
+            hierarchy = hierarchies.get(dim)
+            if hierarchy is None:
+                raise QueryError(
+                    f"dimension {dim} has no hierarchy but the spec uses "
+                    f"{entry!r}"
+                )
+            out.append(compile_member(hierarchy, entry))
+        else:
+            out.append(entry)
+    return tuple(out)
+
+
+def rollup_by_level(warehouse, dim, hierarchy: Hierarchy, level: str,
+                    base_spec=None) -> dict:
+    """Group-by a hierarchy level: ``{member: aggregate value}``.
+
+    For each member of ``level``, runs the range query fixing dimension
+    ``dim`` to the member's leaves (other dimensions from ``base_spec``
+    or ``*``) and combines the per-cell answers of the *one-step-up*
+    cells.  Implemented via one range query per member whose other
+    dimensions are ``*`` — the per-member total is then the value of the
+    cell that aggregates the member's leaves, i.e. the sum over leaf
+    group-bys for distributive aggregates.
+
+    Because a quotient cube stores no cell for an arbitrary leaf *set*,
+    the member total is assembled from the leaf-level cells; this
+    requires a distributive aggregate (COUNT/SUM).  For other aggregates
+    query the member's leaves individually.
+    """
+    dim_index = (
+        dim if isinstance(dim, int)
+        else warehouse.table.schema.dim_index(dim)
+    )
+    n_dims = warehouse.table.n_dims
+    if base_spec is None:
+        base_spec = ["*"] * n_dims
+    out = {}
+    for member in hierarchy.members(level):
+        spec = list(base_spec)
+        spec[dim_index] = sorted(
+            hierarchy.leaves(level, member), key=repr
+        )
+        results = warehouse.range(tuple(spec))
+        total = None
+        for _cell, value in results.items():
+            total = value if total is None else total + value
+        if total is not None:
+            out[member] = total
+    return out

@@ -1,0 +1,314 @@
+"""Dictionary-encoded base tables.
+
+A :class:`BaseTable` holds the fact rows a cube summarizes.  Dimension
+values are dictionary-encoded to dense non-negative ints at construction so
+that cells are cheap tuples and the paper's "dictionary order with ``*``
+first" becomes a plain integer sort (see
+:func:`repro.core.cells.dict_sort_key`).  Measures are kept in a float
+matrix.
+
+Encoding is stable: codes are assigned by sorting the distinct labels of
+each dimension, so two tables built from permutations of the same records
+encode identically (this underpins the Theorem 1 "tree is unique" tests).
+Labels first seen by :meth:`BaseTable.extended` receive fresh codes after
+the existing ones, which keeps earlier trees valid during incremental
+maintenance.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.cells import ALL, Cell, covers
+from repro.cube.schema import Schema
+from repro.errors import SchemaError
+
+
+def _label_sort_key(label):
+    """Sort key tolerating mixed label types within a dimension."""
+    return (label.__class__.__name__, label)
+
+
+class BaseTable:
+    """An immutable, dictionary-encoded fact table.
+
+    Use :meth:`from_records` to build one from raw records;
+    :meth:`extended` / :meth:`without_rows` derive updated tables for
+    incremental-maintenance experiments without mutating the original.
+    """
+
+    def __init__(self, schema: Schema, rows, measures, decoders, encoders):
+        self.schema = schema
+        #: Encoded dimension rows: list of tuples of ints.
+        self.rows = rows
+        #: Measure matrix, shape ``(n_rows, n_measures)``.
+        self.measures = measures
+        self._decoders = decoders  # per-dim list: code -> label
+        self._encoders = encoders  # per-dim dict: label -> code
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable[Sequence], schema: Schema) -> "BaseTable":
+        """Build a table from raw records.
+
+        Each record holds the dimension labels followed by the measure
+        values, in schema order.  Duplicate records are allowed (the table
+        is a multiset, as required by the maintenance algorithms).
+        """
+        records = [tuple(r) for r in records]
+        n_dims, n_meas = schema.n_dims, schema.n_measures
+        width = n_dims + n_meas
+        for r in records:
+            if len(r) != width:
+                raise SchemaError(
+                    f"record {r!r} has {len(r)} fields, schema expects {width}"
+                )
+        encoders = []
+        decoders = []
+        for j in range(n_dims):
+            labels = sorted({r[j] for r in records}, key=_label_sort_key)
+            encoders.append({label: code for code, label in enumerate(labels)})
+            decoders.append(list(labels))
+        rows = [
+            tuple(encoders[j][r[j]] for j in range(n_dims)) for r in records
+        ]
+        measures = np.array(
+            [[float(v) for v in r[n_dims:]] for r in records], dtype=np.float64
+        ).reshape(len(records), n_meas)
+        return cls(schema, rows, measures, decoders, encoders)
+
+    @classmethod
+    def from_encoded(cls, rows, measures, schema: Schema, cardinalities=None) -> "BaseTable":
+        """Build a table whose dimension values are already dense ints.
+
+        Synthetic generators produce coded data directly; labels equal the
+        codes.  ``cardinalities`` fixes each dimension's domain size (else
+        the observed maximum is used).
+        """
+        rows = [tuple(int(v) for v in r) for r in rows]
+        n_dims = schema.n_dims
+        for r in rows:
+            if len(r) != n_dims:
+                raise SchemaError(
+                    f"encoded row {r!r} has {len(r)} dims, schema expects {n_dims}"
+                )
+        if cardinalities is None:
+            cardinalities = [
+                (max((r[j] for r in rows), default=-1) + 1) for j in range(n_dims)
+            ]
+        decoders = [list(range(card)) for card in cardinalities]
+        encoders = [{v: v for v in range(card)} for card in cardinalities]
+        measures = np.asarray(measures, dtype=np.float64).reshape(
+            len(rows), schema.n_measures
+        )
+        return cls(schema, rows, measures, decoders, encoders)
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        """Number of fact rows."""
+        return len(self.rows)
+
+    @property
+    def n_dims(self) -> int:
+        """Number of dimensions."""
+        return self.schema.n_dims
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self):
+        return (
+            f"BaseTable({self.n_rows} rows, dims={self.schema.dimension_names}, "
+            f"measures={self.schema.measure_names})"
+        )
+
+    def cardinality(self, dim) -> int:
+        """Domain size of a dimension (by index or name)."""
+        j = dim if isinstance(dim, int) else self.schema.dim_index(dim)
+        return len(self._decoders[j])
+
+    def cardinalities(self) -> tuple:
+        """Domain sizes of all dimensions, in schema order."""
+        return tuple(len(d) for d in self._decoders)
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode_value(self, dim: int, label):
+        """Translate a raw label into its dimension code.
+
+        Raises :class:`SchemaError` for labels absent from the dimension's
+        dictionary — callers that want "absent value means empty result"
+        semantics should catch it (query layers do).
+        """
+        try:
+            return self._encoders[dim][label]
+        except KeyError:
+            raise SchemaError(
+                f"value {label!r} not present in dimension "
+                f"{self.schema.dimension_names[dim]!r}"
+            ) from None
+
+    def decode_value(self, dim: int, code):
+        """Translate a dimension code back into its raw label."""
+        return self._decoders[dim][code]
+
+    def encode_cell(self, raw_cell: Sequence) -> Cell:
+        """Encode a user-facing cell; ``"*"``, ``None`` and ALL mean ALL."""
+        if len(raw_cell) != self.n_dims:
+            raise SchemaError(
+                f"cell {raw_cell!r} has {len(raw_cell)} positions, "
+                f"table has {self.n_dims} dimensions"
+            )
+        out = []
+        for j, v in enumerate(raw_cell):
+            if v is ALL or v is None or v == "*":
+                out.append(ALL)
+            else:
+                out.append(self.encode_value(j, v))
+        return tuple(out)
+
+    def decode_cell(self, cell: Cell) -> tuple:
+        """Decode an internal cell back to raw labels (ALL becomes ``"*"``)."""
+        return tuple(
+            "*" if v is ALL else self.decode_value(j, v)
+            for j, v in enumerate(cell)
+        )
+
+    # -- row access ---------------------------------------------------------
+
+    def iter_records(self) -> Iterator[tuple]:
+        """Yield decoded records: dimension labels then measure values."""
+        for i, row in enumerate(self.rows):
+            dims = tuple(self.decode_value(j, v) for j, v in enumerate(row))
+            yield dims + tuple(self.measures[i])
+
+    def select(self, cell: Cell) -> list:
+        """Return indices of rows covered by ``cell`` (encoded)."""
+        return [i for i, row in enumerate(self.rows) if covers(cell, row)]
+
+    # -- derivation ----------------------------------------------------------
+
+    def extended(self, records: Iterable[Sequence]) -> tuple:
+        """Return ``(new_table, delta_table)`` after appending raw records.
+
+        Labels unseen so far get fresh codes appended to each dimension's
+        dictionary, so all previously issued codes remain valid.  The second
+        element is a table holding only the new rows, encoded with the *new*
+        dictionaries — handy for maintenance algorithms that DFS over the
+        delta alone.
+        """
+        records = [tuple(r) for r in records]
+        n_dims, n_meas = self.n_dims, self.schema.n_measures
+        width = n_dims + n_meas
+        for r in records:
+            if len(r) != width:
+                raise SchemaError(
+                    f"record {r!r} has {len(r)} fields, schema expects {width}"
+                )
+        encoders = [dict(e) for e in self._encoders]
+        decoders = [list(d) for d in self._decoders]
+        for j in range(n_dims):
+            fresh = sorted(
+                {r[j] for r in records} - set(encoders[j]), key=_label_sort_key
+            )
+            for label in fresh:
+                encoders[j][label] = len(decoders[j])
+                decoders[j].append(label)
+        new_rows = [
+            tuple(encoders[j][r[j]] for j in range(n_dims)) for r in records
+        ]
+        new_measures = np.array(
+            [[float(v) for v in r[n_dims:]] for r in records], dtype=np.float64
+        ).reshape(len(records), n_meas)
+        combined = BaseTable(
+            self.schema,
+            self.rows + new_rows,
+            np.vstack([self.measures, new_measures]) if records else self.measures,
+            decoders,
+            encoders,
+        )
+        delta = BaseTable(self.schema, new_rows, new_measures, decoders, encoders)
+        return combined, delta
+
+    def without_rows(self, indices) -> "BaseTable":
+        """Return a table with the given row indices removed."""
+        drop = set(indices)
+        bad = [i for i in drop if not 0 <= i < self.n_rows]
+        if bad:
+            raise SchemaError(f"row indices out of range: {sorted(bad)}")
+        keep = [i for i in range(self.n_rows) if i not in drop]
+        return BaseTable(
+            self.schema,
+            [self.rows[i] for i in keep],
+            self.measures[keep] if keep else self.measures[:0],
+            self._decoders,
+            self._encoders,
+        )
+
+    def subset(self, indices) -> "BaseTable":
+        """Return a table holding only the given row indices (same encoding)."""
+        indices = list(indices)
+        return BaseTable(
+            self.schema,
+            [self.rows[i] for i in indices],
+            self.measures[indices] if indices else self.measures[:0],
+            self._decoders,
+            self._encoders,
+        )
+
+    def projected(self, dims) -> "BaseTable":
+        """Return a table restricted to the listed dimensions (re-encoded)."""
+        indices = [
+            d if isinstance(d, int) else self.schema.dim_index(d) for d in dims
+        ]
+        schema = self.schema.projected(indices)
+        records = []
+        for i, row in enumerate(self.rows):
+            labels = tuple(self.decode_value(j, row[j]) for j in indices)
+            records.append(labels + tuple(self.measures[i]))
+        return BaseTable.from_records(records, schema)
+
+    def reordered(self, dim_order) -> "BaseTable":
+        """Return a table with dimensions permuted into ``dim_order``."""
+        indices = [
+            d if isinstance(d, int) else self.schema.dim_index(d)
+            for d in dim_order
+        ]
+        schema = self.schema.reordered(indices)
+        records = []
+        for i, row in enumerate(self.rows):
+            labels = tuple(self.decode_value(j, row[j]) for j in indices)
+            records.append(labels + tuple(self.measures[i]))
+        return BaseTable.from_records(records, schema)
+
+    # -- CSV I/O ---------------------------------------------------------------
+
+    def to_csv(self, path) -> None:
+        """Write the decoded records with a header row."""
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(
+                list(self.schema.dimension_names) + list(self.schema.measure_names)
+            )
+            for record in self.iter_records():
+                writer.writerow(record)
+
+    @classmethod
+    def from_csv(cls, path, schema: Schema) -> "BaseTable":
+        """Read records written by :meth:`to_csv` (measures parsed as float)."""
+        with open(path, newline="") as f:
+            reader = csv.reader(f)
+            header = next(reader)
+            expected = list(schema.dimension_names) + list(schema.measure_names)
+            if header != expected:
+                raise SchemaError(
+                    f"CSV header {header!r} does not match schema {expected!r}"
+                )
+            records = [tuple(row) for row in reader if row]
+        return cls.from_records(records, schema)

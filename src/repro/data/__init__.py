@@ -1,0 +1,13 @@
+"""Dataset and query-workload generators for the experiments."""
+
+from repro.data.synthetic import zipf_probabilities, zipf_table
+from repro.data.weather import weather_table, scaled_cardinalities, PAPER_CARDINALITIES
+from repro.data.workloads import (
+    iceberg_thresholds, point_query_workload, range_query_workload,
+)
+
+__all__ = [
+    "zipf_probabilities", "zipf_table", "weather_table",
+    "scaled_cardinalities", "PAPER_CARDINALITIES", "iceberg_thresholds",
+    "point_query_workload", "range_query_workload",
+]

@@ -1,0 +1,8 @@
+"""Dwarf compressed-cube baseline (Sismanis et al., SIGMOD 2002)."""
+
+from repro.dwarf.structure import Dwarf, DwarfNode
+from repro.dwarf.build import build_dwarf
+from repro.dwarf.query import dwarf_point_query, dwarf_range_query
+
+__all__ = ["Dwarf", "DwarfNode", "build_dwarf", "dwarf_point_query",
+           "dwarf_range_query"]

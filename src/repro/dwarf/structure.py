@@ -1,0 +1,89 @@
+"""The Dwarf compressed-cube structure (the paper's main comparator).
+
+Dwarf (Sismanis et al., SIGMOD 2002) stores a full data cube as a layered
+DAG with one layer per dimension.  Every node holds one *cell* per
+dimension value occurring in its partition of the base table, plus one
+``ALL`` cell; at internal layers cells point to nodes of the next layer,
+at the leaf layer they hold aggregate states.  Compression comes from
+
+* *prefix sharing* — the layers form a trie over dimension values, and
+* *suffix coalescing* — sub-dwarfs describing the same set of base tuples
+  are stored once and shared (e.g. the ``ALL`` cell of a node with a
+  single value cell points to that cell's sub-dwarf).
+
+The QC-tree paper reimplemented Dwarf for its experiments because the
+original code was unavailable; we do the same (see
+:mod:`repro.dwarf.build`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cube.aggregates import AggregateFunction
+
+
+class DwarfNode:
+    """One node of a Dwarf: value cells plus the ALL cell.
+
+    ``cells`` maps a dimension value to a child node id (internal layer)
+    or an aggregate state (leaf layer); ``all_cell`` is the same for the
+    node's whole partition.
+    """
+
+    __slots__ = ("level", "cells", "all_cell")
+
+    def __init__(self, level: int):
+        self.level = level
+        self.cells: dict = {}
+        self.all_cell = None
+
+    def __repr__(self):
+        return f"DwarfNode(level={self.level}, cells={len(self.cells)})"
+
+
+class Dwarf:
+    """A built Dwarf cube over ``n_dims`` dimensions."""
+
+    def __init__(self, n_dims: int, aggregate: AggregateFunction):
+        self.n_dims = n_dims
+        self.aggregate = aggregate
+        self.nodes: list = []
+        self.root = None  # node id, set by the builder
+
+    def new_node(self, level: int) -> int:
+        node_id = len(self.nodes)
+        self.nodes.append(DwarfNode(level))
+        return node_id
+
+    def node(self, node_id: int) -> DwarfNode:
+        return self.nodes[node_id]
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of distinct (shared) nodes."""
+        return len(self.nodes)
+
+    @property
+    def n_cells(self) -> int:
+        """Total value cells across nodes (ALL cells counted separately)."""
+        return sum(len(n.cells) for n in self.nodes)
+
+    def iter_nodes(self) -> Iterator[DwarfNode]:
+        return iter(self.nodes)
+
+    def stats(self) -> dict:
+        """Size statistics for the storage model and the benchmarks."""
+        leaf_nodes = sum(1 for n in self.nodes if n.level == self.n_dims - 1)
+        return {
+            "nodes": self.n_nodes,
+            "cells": self.n_cells,
+            "all_cells": self.n_nodes,
+            "leaf_nodes": leaf_nodes,
+        }
+
+    def __repr__(self):
+        return (
+            f"Dwarf(dims={self.n_dims}, nodes={self.n_nodes}, "
+            f"cells={self.n_cells}, aggregate={self.aggregate.name})"
+        )

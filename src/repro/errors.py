@@ -1,0 +1,33 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the public API derive from :class:`ReproError`, so a
+caller can catch one type to handle any misuse of the library.  Internal
+invariant violations (bugs) raise plain :class:`AssertionError` from
+debug-checked paths instead and are not part of the public contract.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """Raised for invalid schemas, unknown dimensions, or mismatched rows."""
+
+
+class QueryError(ReproError):
+    """Raised for malformed queries (wrong arity, unknown values, bad ranges)."""
+
+
+class MaintenanceError(ReproError):
+    """Raised when an incremental update cannot be applied.
+
+    Examples: deleting tuples absent from the base table, or deleting under
+    a non-subtractable aggregate without granting recompute access.
+    """
+
+
+class SerializationError(ReproError):
+    """Raised when loading a QC-tree from a corrupt or incompatible stream."""

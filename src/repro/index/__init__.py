@@ -1,0 +1,5 @@
+"""Index structures (B+-tree over aggregate values)."""
+
+from repro.index.bptree import BPlusTree
+
+__all__ = ["BPlusTree"]

@@ -1,0 +1,315 @@
+"""An in-memory B+-tree with duplicate keys and range scans.
+
+The paper's §4.3 answers *pure iceberg* queries by building "an index
+(e.g., B+tree) on the measure attribute" over the QC-tree's class nodes.
+This module provides that index: keys are aggregate values, payloads are
+node ids, duplicates are kept as per-key payload lists, and leaves are
+chained for ordered range scans.
+
+The tree supports insertion, deletion with full rebalancing (borrow from a
+sibling, else merge), exact lookup, and inclusive/exclusive range scans.
+``check_invariants`` verifies the classic B+-tree shape properties and is
+exercised heavily by the property-based tests.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterator, Optional
+
+from repro.errors import QueryError
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self):
+        self.keys: list = []
+        self.values: list = []  # parallel to keys: list of payload lists
+        self.next: Optional[_Leaf] = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self):
+        self.keys: list = []
+        self.children: list = []
+
+
+class BPlusTree:
+    """B+-tree mapping comparable keys to multisets of payloads.
+
+    ``order`` is the maximum number of keys per node; non-root nodes hold
+    at least ``order // 2`` keys.
+    """
+
+    def __init__(self, order: int = 32):
+        if order < 3:
+            raise QueryError(f"B+tree order must be >= 3, got {order}")
+        self.order = order
+        self._min_keys = order // 2
+        self._root = _Leaf()
+        self._size = 0
+
+    def __len__(self) -> int:
+        """Number of (key, payload) pairs stored."""
+        return self._size
+
+    # -- insertion -------------------------------------------------------
+
+    def insert(self, key, payload) -> None:
+        """Insert one (key, payload) pair; duplicate keys accumulate."""
+        split = self._insert(self._root, key, payload)
+        if split is not None:
+            sep, right = split
+            root = _Internal()
+            root.keys = [sep]
+            root.children = [self._root, right]
+            self._root = root
+        self._size += 1
+
+    def _insert(self, node, key, payload):
+        if isinstance(node, _Leaf):
+            idx = bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx].append(payload)
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, [payload])
+            if len(node.keys) <= self.order:
+                return None
+            return self._split_leaf(node)
+        idx = bisect_right(node.keys, key)
+        split = self._insert(node.children[idx], key, payload)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.keys) <= self.order:
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, node: _Leaf):
+        mid = len(node.keys) // 2
+        right = _Leaf()
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next = node.next
+        node.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal):
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Internal()
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        return sep, right
+
+    # -- deletion -----------------------------------------------------------
+
+    def remove(self, key, payload) -> bool:
+        """Remove one (key, payload) pair; returns False if absent."""
+        removed = self._remove(self._root, key, payload)
+        if removed:
+            self._size -= 1
+            if isinstance(self._root, _Internal) and len(self._root.keys) == 0:
+                self._root = self._root.children[0]
+        return removed
+
+    def _remove(self, node, key, payload) -> bool:
+        if isinstance(node, _Leaf):
+            idx = bisect_left(node.keys, key)
+            if idx >= len(node.keys) or node.keys[idx] != key:
+                return False
+            try:
+                node.values[idx].remove(payload)
+            except ValueError:
+                return False
+            if not node.values[idx]:
+                del node.keys[idx]
+                del node.values[idx]
+            return True
+        idx = bisect_right(node.keys, key)
+        child = node.children[idx]
+        if not self._remove(child, key, payload):
+            return False
+        if self._underflow(child):
+            self._rebalance(node, idx)
+        return True
+
+    def _underflow(self, node) -> bool:
+        return len(node.keys) < self._min_keys
+
+    def _rebalance(self, parent: _Internal, idx: int) -> None:
+        child = parent.children[idx]
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = parent.children[idx + 1] if idx + 1 < len(parent.children) else None
+        if left is not None and len(left.keys) > self._min_keys:
+            self._borrow_from_left(parent, idx, left, child)
+        elif right is not None and len(right.keys) > self._min_keys:
+            self._borrow_from_right(parent, idx, child, right)
+        elif left is not None:
+            self._merge(parent, idx - 1, left, child)
+        else:
+            self._merge(parent, idx, child, right)
+
+    def _borrow_from_left(self, parent, idx, left, child) -> None:
+        if isinstance(child, _Leaf):
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[idx - 1] = child.keys[0]
+        else:
+            child.keys.insert(0, parent.keys[idx - 1])
+            parent.keys[idx - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(self, parent, idx, child, right) -> None:
+        if isinstance(child, _Leaf):
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[idx] = right.keys[0]
+        else:
+            child.keys.append(parent.keys[idx])
+            parent.keys[idx] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+
+    def _merge(self, parent, sep_idx, left, right) -> None:
+        if isinstance(left, _Leaf):
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next = right.next
+        else:
+            left.keys.append(parent.keys[sep_idx])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        del parent.keys[sep_idx]
+        del parent.children[sep_idx + 1]
+
+    # -- lookup --------------------------------------------------------------
+
+    def _leaf_for(self, key) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[bisect_right(node.keys, key)]
+        return node
+
+    def search(self, key) -> list:
+        """All payloads stored under ``key`` (empty list if none)."""
+        leaf = self._leaf_for(key)
+        idx = bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return list(leaf.values[idx])
+        return []
+
+    def range_scan(
+        self,
+        low=None,
+        high=None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[tuple]:
+        """Yield ``(key, payload)`` pairs with ``low <= key <= high`` in order.
+
+        Either bound may be None for an open end; ``include_low`` /
+        ``include_high`` toggle strictness.
+        """
+        if low is None:
+            leaf = self._root
+            while isinstance(leaf, _Internal):
+                leaf = leaf.children[0]
+            idx = 0
+        else:
+            leaf = self._leaf_for(low)
+            idx = (
+                bisect_left(leaf.keys, low)
+                if include_low
+                else bisect_right(leaf.keys, low)
+            )
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if high is not None:
+                    if include_high:
+                        if key > high:
+                            return
+                    elif key >= high:
+                        return
+                for payload in leaf.values[idx]:
+                    yield key, payload
+                idx += 1
+            leaf = leaf.next
+            idx = 0
+
+    def items(self) -> Iterator[tuple]:
+        """All (key, payload) pairs in key order."""
+        return self.range_scan()
+
+    def min_key(self):
+        """Smallest key, or None when empty."""
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return node.keys[0] if node.keys else None
+
+    def max_key(self):
+        """Largest key, or None when empty."""
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[-1]
+        return node.keys[-1] if node.keys else None
+
+    # -- validation -----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert the B+-tree shape invariants; used by the test suite.
+
+        Checks uniform leaf depth, node fill bounds, key ordering inside
+        and across nodes, separator correctness, and leaf chain
+        completeness.
+        """
+        leaves_by_walk = []
+
+        def walk(node, depth, low, high):
+            keys = node.keys
+            assert keys == sorted(keys), "unsorted node keys"
+            for key in keys:
+                if low is not None:
+                    assert key >= low, "key below separator bound"
+                if high is not None:
+                    assert key < high, "key above separator bound"
+            if node is not self._root:
+                assert len(keys) >= self._min_keys, "underfull node"
+            assert len(keys) <= self.order, "overfull node"
+            if isinstance(node, _Leaf):
+                assert len(node.values) == len(keys)
+                for payloads in node.values:
+                    assert payloads, "empty payload list retained"
+                leaves_by_walk.append((node, depth))
+                return
+            assert len(node.children) == len(keys) + 1
+            bounds = [low] + keys + [high]
+            for i, child in enumerate(node.children):
+                walk(child, depth + 1, bounds[i], bounds[i + 1])
+
+        walk(self._root, 0, None, None)
+        depths = {d for _, d in leaves_by_walk}
+        assert len(depths) == 1, f"leaves at different depths: {depths}"
+        # Leaf chain visits exactly the leaves found by the tree walk.
+        chain = []
+        leaf = self._root
+        while isinstance(leaf, _Internal):
+            leaf = leaf.children[0]
+        while leaf is not None:
+            chain.append(leaf)
+            leaf = leaf.next
+        assert chain == [n for n, _ in leaves_by_walk], "broken leaf chain"
+        assert self._size == sum(
+            len(p) for leaf in chain for p in leaf.values
+        ), "size counter out of sync"

@@ -1,0 +1,129 @@
+"""Storage cost models for the four compared structures.
+
+The compression experiments (Figures 12 and 15) compare the materialized
+sizes of the full cube, the QC-table, the QC-tree, and Dwarf.  Absolute
+byte counts depend on an encoding; what matters for the reproduction is
+that all four structures are costed with the *same* primitive sizes, so
+the ratios are meaningful.  The model (all constants below):
+
+* a dimension value id is 4 bytes (dictionary-encoded int),
+* a pointer is 4 bytes (a node id in a paged file),
+* an aggregate value is 8 bytes (one double per aggregate component),
+* a QC-tree node additionally stores a 2-byte dimension tag.
+
+Costs:
+
+==============  =====================================================
+full cube       cells x (n_dims value ids + aggregate)
+QC-table        classes x (n_dims value ids + aggregate)
+QC-tree         nodes x (value id + dim tag) + tree edges x pointer
+                + links x (value id + pointer) + classes x aggregate
+Dwarf           value cells x (value id + pointer) + ALL cells x
+                pointer, with leaf-layer cells holding an aggregate
+                instead of a pointer
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+from repro.core.qctree import QCTree
+from repro.dwarf.structure import Dwarf
+
+VALUE_BYTES = 4
+POINTER_BYTES = 4
+AGGREGATE_BYTES = 8
+DIM_TAG_BYTES = 2
+
+
+def _aggregate_width(aggregate) -> int:
+    """Number of 8-byte components in an aggregate's stored state."""
+    from repro.cube.aggregates import Average, MultiAggregate
+
+    if isinstance(aggregate, MultiAggregate):
+        return sum(_aggregate_width(p) for p in aggregate.parts)
+    if isinstance(aggregate, Average):
+        return 2  # (sum, count)
+    return 1
+
+
+def cube_bytes(n_cells: int, n_dims: int, agg_width: int = 1) -> int:
+    """Size of a plainly materialized cube relation."""
+    return n_cells * (n_dims * VALUE_BYTES + agg_width * AGGREGATE_BYTES)
+
+
+def qc_table_bytes(n_classes: int, n_dims: int, agg_width: int = 1) -> int:
+    """Size of the flat QC-table (upper bounds stored relationally)."""
+    return n_classes * (n_dims * VALUE_BYTES + agg_width * AGGREGATE_BYTES)
+
+
+def qctree_bytes(tree: QCTree, agg_width: int = None) -> int:
+    """Size of a QC-tree under the model above."""
+    if agg_width is None:
+        agg_width = _aggregate_width(tree.aggregate)
+    stats = tree.stats()
+    return (
+        stats["nodes"] * (VALUE_BYTES + DIM_TAG_BYTES)
+        + stats["tree_edges"] * POINTER_BYTES
+        + stats["links"] * (VALUE_BYTES + POINTER_BYTES)
+        + stats["classes"] * agg_width * AGGREGATE_BYTES
+    )
+
+
+def dwarf_bytes(dwarf: Dwarf, agg_width: int = None) -> int:
+    """Size of a Dwarf under the model above."""
+    if agg_width is None:
+        agg_width = _aggregate_width(dwarf.aggregate)
+    total = 0
+    leaf_level = dwarf.n_dims - 1
+    for node in dwarf.iter_nodes():
+        payload = (
+            agg_width * AGGREGATE_BYTES
+            if node.level == leaf_level
+            else POINTER_BYTES
+        )
+        total += len(node.cells) * (VALUE_BYTES + payload)  # value cells
+        total += payload  # the ALL cell
+    return total
+
+
+def compression_report(table, aggregate="count", include_dwarf: bool = True) -> dict:
+    """Build every structure over ``table`` and report sizes and ratios.
+
+    Returns a dict with cell/class/node counts, byte sizes, and each
+    structure's size as a percentage of the full cube — the quantity the
+    paper's Figure 12 plots.  Used by the fig12/fig15 benchmarks and the
+    examples.
+    """
+    from repro.core.construct import build_qctree
+    from repro.cube.aggregates import make_aggregate
+    from repro.cube.buc import buc_cell_count
+    from repro.cube.quotient import QCTable
+    from repro.dwarf.build import build_dwarf
+
+    agg = make_aggregate(aggregate)
+    agg_width = _aggregate_width(agg)
+    n_cells = buc_cell_count(table)
+    tree = build_qctree(table, agg)
+    qc_table = QCTable.from_table(table, agg)
+    report = {
+        "n_rows": table.n_rows,
+        "n_dims": table.n_dims,
+        "cube_cells": n_cells,
+        "qc_classes": len(qc_table),
+        "qctree_nodes": tree.n_nodes,
+        "qctree_links": tree.n_links,
+        "cube_bytes": cube_bytes(n_cells, table.n_dims, agg_width),
+        "qc_table_bytes": qc_table_bytes(len(qc_table), table.n_dims, agg_width),
+        "qctree_bytes": qctree_bytes(tree, agg_width),
+    }
+    if include_dwarf:
+        dwarf = build_dwarf(table, agg)
+        report["dwarf_nodes"] = dwarf.n_nodes
+        report["dwarf_cells"] = dwarf.n_cells
+        report["dwarf_bytes"] = dwarf_bytes(dwarf, agg_width)
+    base = report["cube_bytes"]
+    for name in ("qc_table", "qctree", "dwarf"):
+        key = f"{name}_bytes"
+        if key in report:
+            report[f"{name}_ratio_pct"] = 100.0 * report[key] / base if base else 0.0
+    return report

@@ -1,0 +1,84 @@
+"""Shared fixtures and helpers for the QC-tree reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+from itertools import product
+
+import pytest
+
+from repro.core.cells import ALL
+from repro.cube.schema import Schema
+from repro.cube.table import BaseTable
+
+
+@pytest.fixture
+def sales_schema():
+    """The paper's running example schema (Figure 1)."""
+    return Schema(dimensions=("Store", "Product", "Season"), measures=("Sale",))
+
+
+@pytest.fixture
+def sales_table(sales_schema):
+    """The paper's base table (Figure 1)."""
+    return BaseTable.from_records(
+        [
+            ("S1", "P1", "s", 6.0),
+            ("S1", "P2", "s", 12.0),
+            ("S2", "P1", "f", 9.0),
+        ],
+        sales_schema,
+    )
+
+
+@pytest.fixture
+def extended_sales_table(sales_schema):
+    """The five-tuple table of the paper's deletion example (Example 4)."""
+    return BaseTable.from_records(
+        [
+            ("S1", "P1", "s", 6.0),
+            ("S1", "P2", "s", 12.0),
+            ("S2", "P1", "f", 9.0),
+            ("S2", "P2", "f", 4.0),
+            ("S2", "P3", "f", 1.0),
+        ],
+        sales_schema,
+    )
+
+
+def make_random_table(seed, n_dims=None, cardinality=None, n_rows=None):
+    """A small random encoded table for oracle-based comparisons."""
+    rng = random.Random(seed)
+    n_dims = n_dims if n_dims is not None else rng.randint(1, 4)
+    cardinality = cardinality if cardinality is not None else rng.randint(1, 4)
+    n_rows = n_rows if n_rows is not None else rng.randint(1, 12)
+    schema = Schema(
+        dimensions=[f"D{j}" for j in range(n_dims)], measures=("m",)
+    )
+    rows = [
+        tuple(rng.randrange(cardinality) for _ in range(n_dims))
+        for _ in range(n_rows)
+    ]
+    measures = [[float(rng.randint(0, 20))] for _ in range(n_rows)]
+    return BaseTable.from_encoded(
+        rows, measures, schema, cardinalities=[cardinality] * n_dims
+    )
+
+
+def all_cells(table):
+    """Every cell of the cube lattice over the table's domains (small only)."""
+    domains = [
+        [ALL] + list(range(table.cardinality(j))) for j in range(table.n_dims)
+    ]
+    return product(*domains)
+
+
+def approx_equal(a, b, tol=1e-9):
+    """None-aware tolerant comparison of aggregate values."""
+    if a is None or b is None:
+        return a is None and b is None
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return len(a) == len(b) and all(
+            approx_equal(x, y, tol) for x, y in zip(a, b)
+        )
+    return abs(a - b) <= tol * max(1.0, abs(a), abs(b))

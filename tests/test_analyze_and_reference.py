@@ -1,0 +1,92 @@
+"""Tests for the analysis reports and the reference construction."""
+
+import pytest
+
+from repro.core.analyze import (
+    analyze_tree,
+    class_size_distribution,
+    link_dimension_histogram,
+    tree_depths,
+)
+from repro.core.construct import build_qctree, build_qctree_reference
+from repro.cube.buc import buc_cell_count
+from tests.conftest import make_random_table
+
+
+class TestReferenceConstruction:
+    """The closure-relation construction must equal Algorithm 1 exactly —
+    the two implementations validate each other."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_signature_equality(self, seed):
+        table = make_random_table(seed)
+        alg1 = build_qctree(table, ("sum", "m"))
+        reference = build_qctree_reference(table, ("sum", "m"))
+        assert alg1.signature()[0] == reference.signature()[0], "paths"
+        assert alg1.signature()[1] == reference.signature()[1], "links"
+        assert alg1.equivalent_to(reference)
+
+    def test_paper_example(self, sales_table):
+        reference = build_qctree_reference(sales_table, ("avg", "Sale"))
+        assert reference.n_nodes == 11
+        assert reference.n_links == 5
+        assert reference.n_classes == 6
+
+    def test_empty_table(self):
+        table = make_random_table(0, n_rows=1).without_rows([0])
+        tree = build_qctree_reference(table, "count")
+        assert tree.n_classes == 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_reference_passes_invariants(self, seed):
+        build_qctree_reference(
+            make_random_table(seed + 50), "count"
+        ).check_invariants()
+
+
+class TestAnalyze:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        table = make_random_table(3, n_dims=3, cardinality=3, n_rows=10)
+        return table, build_qctree(table, "count")
+
+    def test_tree_depths_counts_all_nodes(self, setup):
+        _, tree = setup
+        depths = tree_depths(tree)
+        assert sum(depths.values()) == tree.n_nodes
+        assert depths[0] == 1  # only the root at depth 0
+
+    def test_link_histogram_totals(self, setup):
+        _, tree = setup
+        histogram = link_dimension_histogram(tree)
+        assert sum(histogram.values()) == tree.n_links
+
+    def test_class_sizes_partition_the_cube(self, setup):
+        table, tree = setup
+        sizes = class_size_distribution(tree, table)
+        total_cells = sum(size * count for size, count in sizes.items())
+        assert total_cells == buc_cell_count(table)
+        assert sum(sizes.values()) == tree.n_classes
+
+    def test_analyze_report_keys(self, setup):
+        table, tree = setup
+        report = analyze_tree(tree, table)
+        for key in ("nodes", "links", "classes", "bytes", "cube_cells",
+                    "cells_per_class_mean", "max_depth", "depth_histogram",
+                    "links_per_dimension", "link_density",
+                    "class_size_histogram", "cells_accounted"):
+            assert key in report, key
+        assert report["cells_accounted"] == report["cube_cells"]
+        assert report["cells_per_class_mean"] >= 1.0
+
+    def test_analyze_without_class_sizes(self, setup):
+        table, tree = setup
+        report = analyze_tree(tree, table, with_class_sizes=False)
+        assert "class_size_histogram" not in report
+
+    def test_empty_tree_report(self):
+        table = make_random_table(0, n_rows=1).without_rows([0])
+        tree = build_qctree(table, "count")
+        report = analyze_tree(tree, table)
+        assert report["classes"] == 0
+        assert report["cells_per_class_mean"] == 0.0

@@ -1,0 +1,173 @@
+"""Unit and model-based property tests for the B+-tree (repro.index.bptree)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.index.bptree import BPlusTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree(order=4)
+        assert len(tree) == 0
+        assert tree.search(1) == []
+        assert list(tree.items()) == []
+        assert tree.min_key() is None and tree.max_key() is None
+
+    def test_order_too_small_rejected(self):
+        with pytest.raises(QueryError):
+            BPlusTree(order=2)
+
+    def test_insert_search(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "a")
+        tree.insert(3, "b")
+        assert tree.search(5) == ["a"]
+        assert tree.search(4) == []
+
+    def test_duplicate_keys_accumulate(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        assert sorted(tree.search(5)) == ["a", "b"]
+        assert len(tree) == 2
+
+    def test_items_sorted(self):
+        tree = BPlusTree(order=4)
+        for key in [9, 2, 7, 4, 1, 8]:
+            tree.insert(key, key)
+        assert [k for k, _ in tree.items()] == [1, 2, 4, 7, 8, 9]
+
+    def test_min_max(self):
+        tree = BPlusTree(order=4)
+        for key in [9, 2, 7]:
+            tree.insert(key, key)
+        assert tree.min_key() == 2 and tree.max_key() == 9
+
+
+class TestRangeScan:
+    @pytest.fixture
+    def tree(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 20, 2):
+            tree.insert(key, key)
+        return tree
+
+    def test_closed_range(self, tree):
+        assert [k for k, _ in tree.range_scan(4, 10)] == [4, 6, 8, 10]
+
+    def test_open_low(self, tree):
+        assert [k for k, _ in tree.range_scan(high=4)] == [0, 2, 4]
+
+    def test_open_high(self, tree):
+        assert [k for k, _ in tree.range_scan(low=14)] == [14, 16, 18]
+
+    def test_exclusive_bounds(self, tree):
+        assert [
+            k for k, _ in tree.range_scan(4, 10, include_low=False,
+                                          include_high=False)
+        ] == [6, 8]
+
+    def test_bounds_between_keys(self, tree):
+        assert [k for k, _ in tree.range_scan(3, 7)] == [4, 6]
+
+    def test_empty_range(self, tree):
+        assert list(tree.range_scan(100, 200)) == []
+
+
+class TestDeletionRebalancing:
+    def test_remove_missing_returns_false(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        assert not tree.remove(2, "a")
+        assert not tree.remove(1, "b")
+        assert len(tree) == 1
+
+    def test_remove_one_duplicate(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.remove(1, "a")
+        assert tree.search(1) == ["b"]
+
+    def test_drain_completely(self):
+        tree = BPlusTree(order=4)
+        keys = list(range(200))
+        random.Random(0).shuffle(keys)
+        for key in keys:
+            tree.insert(key, key)
+        tree.check_invariants()
+        random.Random(1).shuffle(keys)
+        for key in keys:
+            assert tree.remove(key, key)
+            tree.check_invariants()
+        assert len(tree) == 0
+
+    @pytest.mark.parametrize("order", [3, 4, 8, 32])
+    def test_invariants_under_mixed_workload(self, order):
+        rng = random.Random(order)
+        tree = BPlusTree(order=order)
+        model = {}
+        for step in range(600):
+            key = rng.randrange(50)
+            if rng.random() < 0.6 or key not in model:
+                tree.insert(key, step)
+                model.setdefault(key, []).append(step)
+            else:
+                payload = rng.choice(model[key])
+                assert tree.remove(key, payload)
+                model[key].remove(payload)
+                if not model[key]:
+                    del model[key]
+            if step % 50 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert len(tree) == sum(len(v) for v in model.values())
+        for key, payloads in model.items():
+            assert sorted(tree.search(key)) == sorted(payloads)
+
+
+class TestModelBased:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(0, 20), st.integers(0, 5)),
+            max_size=120,
+        ),
+        st.sampled_from([3, 4, 7, 16]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_dict_model(self, ops, order):
+        tree = BPlusTree(order=order)
+        model = {}
+        for is_insert, key, payload in ops:
+            if is_insert:
+                tree.insert(key, payload)
+                model.setdefault(key, []).append(payload)
+            else:
+                removed = tree.remove(key, payload)
+                expected = key in model and payload in model[key]
+                assert removed == expected
+                if expected:
+                    model[key].remove(payload)
+                    if not model[key]:
+                        del model[key]
+        tree.check_invariants()
+        expected_items = sorted(
+            (k, p) for k, ps in model.items() for p in ps
+        )
+        assert sorted(tree.items()) == expected_items
+
+    @given(st.lists(st.integers(0, 100), max_size=80),
+           st.integers(0, 100), st.integers(0, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_range_scan_matches_filter(self, keys, low, high):
+        tree = BPlusTree(order=5)
+        for key in keys:
+            tree.insert(key, key)
+        got = [k for k, _ in tree.range_scan(low, high)]
+        expected = sorted(k for k in keys if low <= k <= high)
+        assert got == expected

@@ -1,0 +1,201 @@
+"""Unit and property tests for the cell algebra (repro.core.cells)."""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cells import (
+    ALL,
+    all_cell,
+    comparable,
+    covers,
+    dict_sort_key,
+    format_cell,
+    generalizations,
+    generalizes,
+    is_all,
+    is_base,
+    meet,
+    meet_of_tuples,
+    nonstar_positions,
+    specialize,
+    star_count,
+    strictly_generalizes,
+)
+
+
+def cells(n_dims=3, card=3):
+    """Hypothesis strategy for cells over a small domain."""
+    value = st.one_of(st.just(ALL), st.integers(min_value=0, max_value=card - 1))
+    return st.tuples(*([value] * n_dims))
+
+
+def tuples_(n_dims=3, card=3):
+    return st.tuples(*([st.integers(min_value=0, max_value=card - 1)] * n_dims))
+
+
+class TestAllMarker:
+    def test_singleton(self):
+        assert type(ALL)() is ALL
+
+    def test_repr(self):
+        assert repr(ALL) == "*"
+
+    def test_is_all(self):
+        assert is_all(ALL)
+        assert not is_all(0)
+        assert not is_all(None)
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(ALL)) is ALL
+
+    def test_all_cell(self):
+        assert all_cell(3) == (ALL, ALL, ALL)
+
+
+class TestBasicPredicates:
+    def test_is_base(self):
+        assert is_base((1, 2, 3))
+        assert not is_base((1, ALL, 3))
+
+    def test_star_count(self):
+        assert star_count((ALL, 1, ALL)) == 2
+        assert star_count((1, 2)) == 0
+
+    def test_nonstar_positions(self):
+        assert nonstar_positions((ALL, 5, ALL, 7)) == (1, 3)
+
+    def test_covers_matches_on_nonstar_dims(self):
+        assert covers((1, ALL, 3), (1, 9, 3))
+        assert not covers((1, ALL, 3), (2, 9, 3))
+
+    def test_all_cell_covers_everything(self):
+        assert covers(all_cell(3), (4, 5, 6))
+
+
+class TestGeneralization:
+    def test_generalizes_reflexive(self):
+        assert generalizes((1, ALL), (1, ALL))
+
+    def test_generalizes_examples(self):
+        assert generalizes((ALL, ALL), (1, 2))
+        assert generalizes((1, ALL), (1, 2))
+        assert not generalizes((1, 2), (1, ALL))
+
+    def test_strict(self):
+        assert strictly_generalizes((1, ALL), (1, 2))
+        assert not strictly_generalizes((1, 2), (1, 2))
+
+    def test_comparable(self):
+        assert comparable((ALL, 2), (1, 2))
+        assert not comparable((1, ALL), (ALL, 2))
+
+    @given(cells(), cells(), cells())
+    @settings(max_examples=200, deadline=None)
+    def test_generalizes_is_transitive(self, a, b, c):
+        if generalizes(a, b) and generalizes(b, c):
+            assert generalizes(a, c)
+
+    @given(cells(), cells())
+    @settings(max_examples=200, deadline=None)
+    def test_generalizes_antisymmetric(self, a, b):
+        if generalizes(a, b) and generalizes(b, a):
+            assert a == b
+
+
+class TestMeet:
+    def test_meet_example(self):
+        assert meet((1, 2, ALL), (1, 3, ALL)) == (1, ALL, ALL)
+
+    def test_meet_with_all(self):
+        assert meet((1, 2), (ALL, ALL)) == (ALL, ALL)
+
+    @given(cells(), cells())
+    @settings(max_examples=200, deadline=None)
+    def test_meet_commutative(self, a, b):
+        assert meet(a, b) == meet(b, a)
+
+    @given(cells())
+    @settings(max_examples=100, deadline=None)
+    def test_meet_idempotent(self, a):
+        assert meet(a, a) == a
+
+    @given(cells(), cells(), cells())
+    @settings(max_examples=200, deadline=None)
+    def test_meet_associative(self, a, b, c):
+        assert meet(meet(a, b), c) == meet(a, meet(b, c))
+
+    @given(cells(), cells())
+    @settings(max_examples=200, deadline=None)
+    def test_meet_is_greatest_lower_bound(self, a, b):
+        m = meet(a, b)
+        assert generalizes(m, a) and generalizes(m, b)
+
+    @given(cells(), cells(), cells())
+    @settings(max_examples=200, deadline=None)
+    def test_meet_dominates_common_generalizations(self, a, b, c):
+        if generalizes(c, a) and generalizes(c, b):
+            assert generalizes(c, meet(a, b))
+
+    def test_meet_of_tuples(self):
+        assert meet_of_tuples([(1, 2, 3), (1, 4, 3)]) == (1, ALL, 3)
+
+    def test_meet_of_tuples_single(self):
+        assert meet_of_tuples([(7, 8)]) == (7, 8)
+
+    def test_meet_of_tuples_empty_raises(self):
+        with pytest.raises(ValueError):
+            meet_of_tuples([])
+
+    @given(st.lists(tuples_(), min_size=1, max_size=6))
+    @settings(max_examples=150, deadline=None)
+    def test_meet_of_tuples_covers_all_inputs(self, rows):
+        m = meet_of_tuples(rows)
+        assert all(covers(m, r) for r in rows)
+
+
+class TestEnumeration:
+    def test_specialize(self):
+        assert specialize((ALL, ALL), 1, 5) == (ALL, 5)
+
+    def test_generalizations_count(self):
+        gens = list(generalizations((1, 2, ALL)))
+        assert len(gens) == 4  # 2^2 over the non-star positions
+        assert (ALL, ALL, ALL) in gens
+        assert (1, 2, ALL) in gens
+
+    @given(cells())
+    @settings(max_examples=100, deadline=None)
+    def test_generalizations_all_generalize(self, cell):
+        for g in generalizations(cell):
+            assert generalizes(g, cell)
+
+    @given(cells())
+    @settings(max_examples=100, deadline=None)
+    def test_generalizations_unique_and_complete(self, cell):
+        gens = list(generalizations(cell))
+        assert len(gens) == len(set(gens)) == 2 ** len(nonstar_positions(cell))
+
+
+class TestOrderingAndFormat:
+    def test_dict_sort_key_star_first(self):
+        assert dict_sort_key((ALL, 1)) < dict_sort_key((0, 0))
+
+    def test_dict_sort_key_dimension_major(self):
+        assert dict_sort_key((0, 5)) < dict_sort_key((1, 0))
+
+    @given(cells(), cells())
+    @settings(max_examples=200, deadline=None)
+    def test_generalization_implies_dict_order(self, a, b):
+        if generalizes(a, b):
+            assert dict_sort_key(a) <= dict_sort_key(b)
+
+    def test_format_plain(self):
+        assert format_cell((1, ALL, 2)) == "(1, *, 2)"
+
+    def test_format_with_decoder(self):
+        labels = {0: {1: "S1"}, 2: {2: "s"}}
+        decoder = lambda dim, code: labels[dim][code]
+        assert format_cell((1, ALL, 2), decoder) == "(S1, *, s)"

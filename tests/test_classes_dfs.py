@@ -1,0 +1,157 @@
+"""Tests for the cover-partition DFS (repro.core.classes).
+
+The paper's Figure 6 lists the exact temporary classes for the running
+example; we reproduce that table and check the DFS's structural
+invariants against the brute-force oracle on random inputs.
+"""
+
+import pytest
+
+from repro.core.cells import ALL, generalizes
+from repro.core.classes import (
+    enumerate_temp_classes,
+    partition_closure,
+    unique_upper_bounds,
+)
+from repro.cube.lattice import closed_cells, closure
+from tests.conftest import make_random_table
+
+
+def _decode(table, cell):
+    return table.decode_cell(cell)
+
+
+class TestPaperExample:
+    def test_figure6_temp_classes(self, sales_table):
+        temp = enumerate_temp_classes(sales_table, ("avg", "Sale"))
+        rows = {
+            (_decode(sales_table, t.upper_bound),
+             _decode(sales_table, t.lower_bound)): t
+            for t in temp
+        }
+        # The eleven rows of Figure 6.  The paper's step 5 expands from the
+        # closure d, so instantiated cells inherit closure-filled values:
+        # where Figure 6 prints lower bounds (S1, P1, *) / (S1, P2, *), the
+        # expansion cell carries the season forced by closure (S1, *, s).
+        # Upper bounds, partitions, aggregates, and link dimensions are
+        # identical under either convention.
+        expected = {
+            (("*", "*", "*"), ("*", "*", "*")),
+            (("*", "P1", "*"), ("*", "P1", "*")),
+            (("S1", "*", "s"), ("S1", "*", "*")),
+            (("S1", "*", "s"), ("*", "*", "s")),
+            (("S1", "P1", "s"), ("S1", "P1", "s")),
+            (("S1", "P1", "s"), ("*", "P1", "s")),
+            (("S1", "P2", "s"), ("S1", "P2", "s")),
+            (("S1", "P2", "s"), ("*", "P2", "*")),
+            (("S2", "P1", "f"), ("S2", "*", "*")),
+            (("S2", "P1", "f"), ("*", "P1", "f")),
+            (("S2", "P1", "f"), ("*", "*", "f")),
+        }
+        assert set(rows) == expected
+        assert len(temp) == 11
+
+    def test_figure6_aggregates(self, sales_table):
+        from repro.cube.aggregates import make_aggregate
+
+        agg = make_aggregate(("avg", "Sale"))
+        temp = enumerate_temp_classes(sales_table, agg)
+        by_ub = {}
+        for t in temp:
+            by_ub.setdefault(_decode(sales_table, t.upper_bound),
+                             agg.value(t.state))
+        assert by_ub[("*", "*", "*")] == 9.0
+        assert by_ub[("*", "P1", "*")] == 7.5
+        assert by_ub[("S1", "P1", "s")] == 6.0
+        assert by_ub[("S1", "P2", "s")] == 12.0
+
+    def test_figure6_child_links(self, sales_table):
+        temp = enumerate_temp_classes(sales_table, "count")
+        by_id = {t.class_id: t for t in temp}
+        for t in temp:
+            if t.child_id == -1:
+                assert t.lower_bound == (ALL, ALL, ALL)
+            else:
+                child = by_id[t.child_id]
+                # The lower bound is the child's upper bound with exactly
+                # one more dimension instantiated.
+                diff = [
+                    j
+                    for j in range(3)
+                    if child.upper_bound[j] != t.lower_bound[j]
+                ]
+                assert len(diff) == 1
+                assert child.upper_bound[diff[0]] is ALL
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_upper_bounds_are_exactly_closed_cells(self, seed):
+        table = make_random_table(seed)
+        temp = enumerate_temp_classes(table, "count")
+        assert unique_upper_bounds(temp) == closed_cells(table)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_upper_bound_is_closure_of_lower_bound(self, seed):
+        table = make_random_table(seed + 100)
+        for t in enumerate_temp_classes(table, "count"):
+            assert closure(table, t.lower_bound) == t.upper_bound
+            assert generalizes(t.lower_bound, t.upper_bound)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_states_match_cover_aggregates(self, seed):
+        from repro.cube.aggregates import make_aggregate
+
+        table = make_random_table(seed + 200)
+        agg = make_aggregate(("sum", "m"))
+        for t in enumerate_temp_classes(table, agg):
+            rows = table.select(t.upper_bound)
+            assert abs(t.state - agg.state(table, rows)) < 1e-9
+
+    def test_each_class_expanded_once(self):
+        # Redundant (pruned) rediscoveries are recorded but never expanded:
+        # the number of temp classes stays polynomial in practice, and the
+        # first record per upper bound is the expansion.
+        table = make_random_table(7, n_dims=4, cardinality=3, n_rows=10)
+        temp = enumerate_temp_classes(table, "count")
+        firsts = {}
+        for t in temp:
+            firsts.setdefault(t.upper_bound, 0)
+            firsts[t.upper_bound] += 1
+        assert all(count >= 1 for count in firsts.values())
+
+    def test_empty_table(self):
+        table = make_random_table(0, n_rows=1).without_rows([0])
+        assert enumerate_temp_classes(table, "count") == []
+
+    def test_visitor_sees_every_record(self):
+        table = make_random_table(3)
+        seen = []
+        temp = enumerate_temp_classes(
+            table, "count", visitor=lambda t, rows: seen.append(t.class_id)
+        )
+        assert seen == [t.class_id for t in temp]
+
+
+class TestPartitionClosure:
+    def test_fills_constant_dimensions(self, sales_table):
+        rows = sales_table.select((0, ALL, ALL))  # store S1
+        ub = partition_closure(sales_table, (0, ALL, ALL), rows)
+        assert sales_table.decode_cell(ub) == ("S1", "*", "s")
+
+    def test_keeps_existing_values(self, sales_table):
+        rows = sales_table.select((ALL, 0, ALL))  # product P1
+        ub = partition_closure(sales_table, (ALL, 0, ALL), rows)
+        assert sales_table.decode_cell(ub) == ("*", "P1", "*")
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_oracle_closure(self, seed):
+        table = make_random_table(seed + 300)
+        from tests.conftest import all_cells
+
+        for cell in all_cells(table):
+            rows = table.select(cell)
+            if rows:
+                assert partition_closure(table, cell, rows) == closure(
+                    table, cell
+                )

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main, parse_cell, parse_range
+
+
+@pytest.fixture
+def sales_csv(tmp_path, sales_table):
+    path = tmp_path / "sales.csv"
+    sales_table.to_csv(path)
+    return str(path)
+
+
+@pytest.fixture
+def built_tree(tmp_path, sales_csv):
+    out = str(tmp_path / "sales.qct")
+    code = main([
+        "build", sales_csv,
+        "--dims", "Store,Product,Season",
+        "--measures", "Sale",
+        "--aggregate", "avg(Sale)",
+        "--out", out,
+    ])
+    assert code == 0
+    return out
+
+
+class TestParsing:
+    def test_parse_cell(self):
+        assert parse_cell("S2, *, f") == ("S2", "*", "f")
+
+    def test_parse_range(self):
+        assert parse_range("S1|S2, *, f") == (["S1", "S2"], "*", "f")
+
+    def test_parse_range_single_values(self):
+        assert parse_range("S1,*") == ("S1", "*")
+
+
+class TestCommands:
+    def test_build_and_stats(self, built_tree, capsys):
+        assert main(["stats", built_tree]) == 0
+        out = capsys.readouterr().out
+        assert "classes: 6" in out
+        assert "avg(Sale)" in out
+
+    def test_point_hit(self, built_tree, sales_csv, capsys):
+        assert main(["point", built_tree, "--table", sales_csv,
+                     "S2,*,f"]) == 0
+        assert capsys.readouterr().out.strip() == "9.0"
+
+    def test_point_null(self, built_tree, sales_csv, capsys):
+        assert main(["point", built_tree, "--table", sales_csv,
+                     "S2,*,s"]) == 0
+        assert capsys.readouterr().out.strip() == "NULL"
+
+    def test_range(self, built_tree, sales_csv, capsys):
+        assert main(["range", built_tree, "--table", sales_csv,
+                     "S1|S2,*,*"]) == 0
+        out = capsys.readouterr().out
+        assert "S1,*,*\t9.0" in out
+        assert "S2,*,*\t9.0" in out
+
+    def test_iceberg(self, built_tree, sales_csv, capsys):
+        assert main(["iceberg", built_tree, "--table", sales_csv,
+                     "--threshold", "10"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out == ["S1,P2,s\t12.0"]
+
+    def test_dump(self, built_tree, sales_csv, capsys):
+        assert main(["dump", built_tree, "--table", sales_csv]) == 0
+        out = capsys.readouterr().out
+        assert "Root" in out and "Store=S1" in out
+
+    def test_missing_file_is_error_not_traceback(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "nope.qct")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_tree_is_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.qct"
+        bad.write_text("garbage\n{}")
+        assert main(["stats", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err

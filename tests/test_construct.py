@@ -1,0 +1,156 @@
+"""Tests for QC-tree construction (Algorithm 1) against the paper's Figure 4
+and Theorem 1 (uniqueness)."""
+
+import random
+
+import pytest
+
+from repro.core.cells import ALL
+from repro.core.construct import build_qctree
+from repro.cube.lattice import closed_cells
+from repro.cube.schema import Schema
+from repro.cube.table import BaseTable
+from tests.conftest import make_random_table
+
+
+class TestPaperFigure4:
+    @pytest.fixture
+    def tree(self, sales_table):
+        return build_qctree(sales_table, ("avg", "Sale"))
+
+    def test_node_count(self, tree):
+        assert tree.n_nodes == 11
+
+    def test_link_count(self, tree):
+        assert tree.n_links == 5
+
+    def test_six_classes(self, tree):
+        assert tree.n_classes == 6
+
+    def test_class_values(self, tree, sales_table):
+        got = {
+            sales_table.decode_cell(ub): value
+            for ub, value in tree.class_upper_bounds().items()
+        }
+        assert got == {
+            ("*", "*", "*"): 9.0,
+            ("*", "P1", "*"): 7.5,
+            ("S1", "*", "s"): 9.0,
+            ("S1", "P1", "s"): 6.0,
+            ("S1", "P2", "s"): 12.0,
+            ("S2", "P1", "f"): 9.0,
+        }
+
+    def test_exact_links(self, tree, sales_table):
+        dec = sales_table.decode_cell
+        links = {
+            (dec(tree.upper_bound_of(src)), dim,
+             sales_table.decode_value(dim, value),
+             dec(tree.upper_bound_of(tgt)))
+            for src, dim, value, tgt in tree.iter_links()
+        }
+        # Figure 4: three links out of the root, two out of node <P1>.
+        assert links == {
+            (("*", "*", "*"), 1, "P2", ("S1", "P2", "*")),
+            (("*", "*", "*"), 2, "s", ("S1", "*", "s")),
+            (("*", "*", "*"), 2, "f", ("S2", "P1", "f")),
+            (("*", "P1", "*"), 2, "s", ("S1", "P1", "s")),
+            (("*", "P1", "*"), 2, "f", ("S2", "P1", "f")),
+        }
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_unique_under_row_permutation(self, seed):
+        table = make_random_table(seed)
+        rng = random.Random(seed)
+        order = list(range(table.n_rows))
+        rng.shuffle(order)
+        a = build_qctree(table, ("sum", "m"))
+        b = build_qctree(table.subset(order), ("sum", "m"))
+        assert a.equivalent_to(b)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_one_path_per_closed_cell(self, seed):
+        table = make_random_table(seed + 50)
+        tree = build_qctree(table, "count")
+        class_bounds = {
+            tree.upper_bound_of(n) for n in tree.iter_class_nodes()
+        }
+        assert class_bounds == closed_cells(table)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_every_node_on_some_class_path(self, seed):
+        # Prefix sharing never leaves orphan branches: every node lies on
+        # the path of at least one class upper bound.
+        table = make_random_table(seed + 80)
+        tree = build_qctree(table, "count")
+        from repro.core.cells import generalizes
+
+        bounds = [tree.upper_bound_of(n) for n in tree.iter_class_nodes()]
+        for node in tree.iter_nodes():
+            cell = tree.upper_bound_of(node)
+            assert any(generalizes(cell, ub) for ub in bounds)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_dimensions_increase_along_paths(self, seed):
+        table = make_random_table(seed + 120)
+        tree = build_qctree(table, "count")
+        for node in tree.iter_nodes():
+            for dim, by_value in tree.children[node].items():
+                assert dim > tree.node_dim[node]
+                for value, child in by_value.items():
+                    assert tree.node_dim[child] == dim
+                    assert tree.node_value[child] == value
+                    assert tree.parent[child] == node
+
+
+class TestEdgeCases:
+    def test_empty_table(self):
+        schema = Schema(dimensions=("A", "B"), measures=("m",))
+        table = BaseTable.from_encoded([], [], schema, cardinalities=[2, 2])
+        tree = build_qctree(table, "count")
+        assert tree.n_classes == 0
+        assert tree.n_nodes == 1
+
+    def test_single_tuple(self):
+        schema = Schema(dimensions=("A", "B"), measures=("m",))
+        table = BaseTable.from_encoded([(0, 1)], [[5.0]], schema)
+        tree = build_qctree(table, ("sum", "m"))
+        # One class: everything collapses onto the tuple itself.
+        assert tree.n_classes == 1
+        assert tree.class_upper_bounds() == {(0, 1): 5.0}
+
+    def test_constant_dimension_closure_at_root(self):
+        # When one dimension is constant, the root class's upper bound is
+        # not the all-star cell; the root node itself carries no state.
+        schema = Schema(dimensions=("A", "B"), measures=("m",))
+        table = BaseTable.from_encoded(
+            [(0, 0), (0, 1)], [[1.0], [2.0]], schema
+        )
+        tree = build_qctree(table, "count")
+        assert tree.state[tree.root] is None
+        assert (0, ALL) in tree.class_upper_bounds()
+
+    def test_one_dimension(self):
+        schema = Schema(dimensions=("A",), measures=("m",))
+        table = BaseTable.from_encoded(
+            [(0,), (1,), (1,)], [[1.0], [2.0], [3.0]], schema
+        )
+        tree = build_qctree(table, "count")
+        assert tree.class_upper_bounds() == {(ALL,): 3, (0,): 1, (1,): 2}
+
+    def test_all_rows_identical(self):
+        schema = Schema(dimensions=("A", "B"), measures=("m",))
+        table = BaseTable.from_encoded(
+            [(1, 1)] * 4, [[1.0]] * 4, schema
+        )
+        tree = build_qctree(table, "count")
+        assert tree.class_upper_bounds() == {(1, 1): 4}
+
+    def test_duplicate_rows_counted(self, sales_schema):
+        table = BaseTable.from_records(
+            [("S1", "P1", "s", 6.0), ("S1", "P1", "s", 8.0)], sales_schema
+        )
+        tree = build_qctree(table, ("avg", "Sale"))
+        assert list(tree.class_upper_bounds().values()) == [7.0]

@@ -1,0 +1,150 @@
+"""Tests for the synthetic and weather-like dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import zipf_probabilities, zipf_table
+from repro.data.weather import (
+    DIMENSIONS,
+    PAPER_CARDINALITIES,
+    scaled_cardinalities,
+    weather_table,
+)
+from repro.errors import SchemaError
+
+
+class TestZipfProbabilities:
+    def test_sums_to_one(self):
+        assert zipf_probabilities(50, 2.0).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        probs = zipf_probabilities(20, 2.0)
+        assert all(probs[i] >= probs[i + 1] for i in range(19))
+
+    def test_factor_two_ratio(self):
+        probs = zipf_probabilities(10, 2.0)
+        assert probs[0] / probs[1] == pytest.approx(4.0)
+
+    def test_cardinality_one(self):
+        assert zipf_probabilities(1, 2.0).tolist() == [1.0]
+
+    def test_invalid_cardinality(self):
+        with pytest.raises(SchemaError):
+            zipf_probabilities(0, 2.0)
+
+
+class TestZipfTable:
+    def test_shape(self):
+        table = zipf_table(200, 4, 10, seed=0)
+        assert table.n_rows == 200
+        assert table.n_dims == 4
+        assert table.cardinalities() == (10, 10, 10, 10)
+
+    def test_deterministic(self):
+        a = zipf_table(100, 3, 8, seed=5)
+        b = zipf_table(100, 3, 8, seed=5)
+        assert a.rows == b.rows
+        assert np.array_equal(a.measures, b.measures)
+
+    def test_seed_changes_data(self):
+        a = zipf_table(100, 3, 8, seed=5)
+        b = zipf_table(100, 3, 8, seed=6)
+        assert a.rows != b.rows
+
+    def test_skew_present(self):
+        table = zipf_table(2000, 1, 10, zipf=2.0, seed=0)
+        counts = [0] * 10
+        for (v,) in table.rows:
+            counts[v] += 1
+        assert counts[0] > 0.5 * len(table.rows)  # rank 1 dominates
+
+    def test_per_dimension_cardinalities(self):
+        table = zipf_table(50, 3, [5, 10, 2], seed=1)
+        assert table.cardinalities() == (5, 10, 2)
+
+    def test_cardinality_count_mismatch(self):
+        with pytest.raises(SchemaError):
+            zipf_table(10, 3, [5, 10], seed=1)
+
+    def test_empty(self):
+        table = zipf_table(0, 2, 5, seed=0)
+        assert table.n_rows == 0
+
+    def test_multiple_measures(self):
+        table = zipf_table(10, 2, 5, seed=0, n_measures=3)
+        assert table.measures.shape == (10, 3)
+
+
+class TestWeatherTable:
+    def test_nine_dimensions_with_paper_names(self):
+        table = weather_table(100, scale=0.01, seed=0)
+        assert table.schema.dimension_names == DIMENSIONS
+        assert len(PAPER_CARDINALITIES) == 9
+
+    def test_scaled_cardinalities(self):
+        cards = scaled_cardinalities(0.01)
+        assert cards["station_id"] == 70
+        assert cards["brightness"] == 2  # floor of 2
+
+    def test_scale_validation(self):
+        with pytest.raises(SchemaError):
+            scaled_cardinalities(0)
+        with pytest.raises(SchemaError):
+            weather_table(10, scale=2.0)
+
+    def test_dimension_prefix_selection(self):
+        table = weather_table(50, scale=0.01, seed=0, n_dims=4)
+        assert table.schema.dimension_names == DIMENSIONS[:4]
+        with pytest.raises(SchemaError):
+            weather_table(10, n_dims=0)
+
+    def test_deterministic(self):
+        a = weather_table(80, scale=0.01, seed=3)
+        b = weather_table(80, scale=0.01, seed=3)
+        assert a.rows == b.rows
+
+    def test_functional_dependency_station_longitude(self):
+        table = weather_table(400, scale=0.02, seed=1)
+        j_station = 0
+        j_longitude = 1
+        mapping = {}
+        for row in table.rows:
+            station, longitude = row[j_station], row[j_longitude]
+            assert mapping.setdefault(station, longitude) == longitude
+
+    def test_solar_altitude_correlates_with_hour(self):
+        table = weather_table(500, scale=0.05, seed=2)
+        j_solar = DIMENSIONS.index("solar_altitude")
+        j_hour = DIMENSIONS.index("hour")
+        solar = np.array([r[j_solar] for r in table.rows], dtype=float)
+        hour = np.array([r[j_hour] for r in table.rows], dtype=float)
+        assert np.corrcoef(solar, hour)[0, 1] > 0.8
+
+    def test_correlations_help_quotient_compression(self):
+        """Destroying the correlations (same marginals, columns shuffled
+        independently) inflates both the cube and the class count — the
+        structure the generator plants is what quotient cubes exploit."""
+        import random
+
+        from repro.cube.buc import buc_cell_count
+        from repro.cube.quotient import QCTable
+        from repro.cube.table import BaseTable
+
+        weather = weather_table(300, scale=0.02, seed=0, n_dims=5)
+        rng = random.Random(0)
+        columns = list(zip(*weather.rows))
+        shuffled_columns = []
+        for column in columns:
+            column = list(column)
+            rng.shuffle(column)
+            shuffled_columns.append(column)
+        shuffled = BaseTable.from_encoded(
+            list(zip(*shuffled_columns)),
+            weather.measures,
+            weather.schema,
+            cardinalities=list(weather.cardinalities()),
+        )
+        assert buc_cell_count(weather) < buc_cell_count(shuffled)
+        assert len(QCTable.from_table(weather)) < len(
+            QCTable.from_table(shuffled)
+        )

@@ -1,0 +1,150 @@
+"""Tests for semantic exploration (intelligent roll-up, class drill-in)."""
+
+import pytest
+
+from repro.core.cells import ALL
+from repro.core.construct import build_qctree
+from repro.core.explore import (
+    class_of,
+    drill_into_class,
+    intelligent_rollup,
+    lattice_drilldowns,
+    lattice_rollups,
+    rollup_exceptions,
+)
+from repro.errors import QueryError
+from tests.conftest import make_random_table
+
+
+@pytest.fixture
+def tree(sales_table):
+    return build_qctree(sales_table, ("avg", "Sale"))
+
+
+class TestIntelligentRollup:
+    def test_paper_intro_example(self, tree, sales_table):
+        """From (S2,P1,f): most general context with AVG 9 is (*,*,*)."""
+        cell = sales_table.encode_cell(("S2", "P1", "f"))
+        views = intelligent_rollup(tree, cell)
+        decoded = [sales_table.decode_cell(v.upper_bound) for v in views]
+        assert decoded[0] == ("*", "*", "*")
+        assert ("S2", "P1", "f") in decoded
+        assert all(v.value == 9.0 for v in views)
+
+    def test_paper_intro_exceptions(self, tree, sales_table):
+        """The excluded context is the (*,P1,*) class with AVG 7.5."""
+        cell = sales_table.encode_cell(("S2", "P1", "f"))
+        exceptions = rollup_exceptions(tree, cell)
+        decoded = {
+            sales_table.decode_cell(v.upper_bound): v.value
+            for v in exceptions
+        }
+        assert decoded == {("*", "P1", "*"): 7.5}
+
+    def test_searches_at_most_the_ancestor_classes(self, tree, sales_table):
+        """The paper: "we only need to search at most 2 classes"."""
+        cell = sales_table.encode_cell(("S2", "P1", "f"))
+        total = len(intelligent_rollup(tree, cell)) + len(
+            rollup_exceptions(tree, cell)
+        )
+        assert total == 3  # C1, C6, C3 are the ancestors of (S2, P1, f)
+
+    def test_missing_cell_rejected(self, tree, sales_table):
+        with pytest.raises(QueryError):
+            intelligent_rollup(tree, sales_table.encode_cell(("S2", "*", "s")))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_results_share_the_start_value(self, seed):
+        table = make_random_table(seed)
+        t = build_qctree(table, "count")
+        row = table.rows[0]
+        start_value = None
+        from repro.core.point_query import point_query
+
+        start_value = point_query(t, row)
+        for view in intelligent_rollup(t, row):
+            assert view.value == start_value
+
+
+class TestLatticeNavigation:
+    def test_class_of(self, tree, sales_table):
+        view = class_of(tree, sales_table.encode_cell(("S1", "*", "*")))
+        assert sales_table.decode_cell(view.upper_bound) == ("S1", "*", "s")
+        assert view.value == 9.0
+
+    def test_class_of_missing_cell(self, tree, sales_table):
+        assert class_of(tree, sales_table.encode_cell(("S2", "*", "s"))) is None
+
+    def test_drilldowns_from_root(self, tree, sales_table):
+        views = lattice_drilldowns(
+            tree, sales_table.encode_cell(("*", "*", "*")), sales_table
+        )
+        decoded = {sales_table.decode_cell(v.upper_bound) for v in views}
+        # One-step drill-downs from C1 reach C2..C6 (Figure 3 lattice).
+        assert ("S1", "*", "s") in decoded
+        assert ("S2", "P1", "f") in decoded
+        assert ("*", "P1", "*") in decoded
+
+    def test_rollups_from_specific_cell(self, tree, sales_table):
+        views = lattice_rollups(
+            tree, sales_table.encode_cell(("S1", "P1", "s")), sales_table
+        )
+        decoded = {sales_table.decode_cell(v.upper_bound) for v in views}
+        # Figure 3: C5's lattice children are C4 and C6.
+        assert decoded == {("S1", "*", "s"), ("*", "P1", "*")}
+
+    def test_rollups_from_root_empty(self, tree, sales_table):
+        assert lattice_rollups(
+            tree, sales_table.encode_cell(("*", "*", "*")), sales_table
+        ) == []
+
+
+class TestDrillIntoClass:
+    def test_paper_figure3_class_c3(self, tree, sales_table):
+        structure = drill_into_class(
+            tree, sales_table.encode_cell(("S2", "*", "f")), sales_table
+        )
+        decode = sales_table.decode_cell
+        assert decode(structure.upper_bound) == ("S2", "P1", "f")
+        assert sorted(decode(lb) for lb in structure.lower_bounds) == [
+            ("*", "*", "f"), ("S2", "*", "*"),
+        ]
+        members = {decode(m) for m in structure.members}
+        # Figure 3's drill-in shows exactly these six member cells.
+        assert members == {
+            ("S2", "P1", "f"), ("S2", "P1", "*"), ("*", "P1", "f"),
+            ("S2", "*", "f"), ("*", "*", "f"), ("S2", "*", "*"),
+        }
+        assert structure.value == 9.0
+
+    def test_members_form_intervals(self, tree, sales_table):
+        structure = drill_into_class(
+            tree, sales_table.encode_cell(("S2", "*", "f")), sales_table
+        )
+        for member in structure.members:
+            assert structure.contains(member)
+        assert not structure.contains(
+            sales_table.encode_cell(("S1", "*", "*"))
+        )
+
+    def test_drilldown_edges_stay_inside(self, tree, sales_table):
+        structure = drill_into_class(
+            tree, sales_table.encode_cell(("S2", "*", "f")), sales_table
+        )
+        members = set(structure.members)
+        for src, dst in structure.drilldown_edges:
+            assert src in members and dst in members
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_member_count_matches_oracle(self, seed):
+        table = make_random_table(seed, n_dims=3, cardinality=3)
+        t = build_qctree(table, "count")
+        from repro.cube.lattice import quotient_classes
+
+        oracle = {
+            c.upper_bound: set(c.members)
+            for c in quotient_classes(table, "count")
+        }
+        for ub, members in list(oracle.items())[:5]:
+            structure = drill_into_class(t, ub, table)
+            assert set(structure.members) == members

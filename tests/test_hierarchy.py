@@ -1,0 +1,130 @@
+"""Tests for dimension hierarchies compiled into range queries."""
+
+import pytest
+
+from repro.core.warehouse import QCWarehouse
+from repro.cube.hierarchy import (
+    Hierarchy,
+    HierarchyMember,
+    compile_member,
+    compile_spec,
+    rollup_by_level,
+)
+from repro.cube.schema import Schema
+from repro.errors import QueryError, SchemaError
+
+
+@pytest.fixture
+def time_hierarchy():
+    return Hierarchy(
+        "day",
+        {
+            "month": {"d1": "Jan", "d2": "Jan", "d3": "Feb", "d4": "Feb"},
+            "quarter": {"d1": "Q1", "d2": "Q1", "d3": "Q1", "d4": "Q1"},
+        },
+    )
+
+
+@pytest.fixture
+def warehouse():
+    schema = Schema(dimensions=("store", "day"), measures=("sales",))
+    return QCWarehouse.from_records(
+        [
+            ("S1", "d1", 10.0),
+            ("S1", "d2", 20.0),
+            ("S2", "d3", 5.0),
+            ("S2", "d4", 7.0),
+        ],
+        schema,
+        aggregate=("sum", "sales"),
+    )
+
+
+class TestHierarchy:
+    def test_levels_and_members(self, time_hierarchy):
+        assert time_hierarchy.level_names == ("month", "quarter")
+        assert time_hierarchy.members("month") == ("Feb", "Jan")
+        assert time_hierarchy.members("quarter") == ("Q1",)
+
+    def test_leaves(self, time_hierarchy):
+        assert time_hierarchy.leaves("month", "Jan") == {"d1", "d2"}
+        assert time_hierarchy.leaves("quarter", "Q1") == {"d1", "d2", "d3", "d4"}
+
+    def test_member_of(self, time_hierarchy):
+        assert time_hierarchy.member_of("month", "d3") == "Feb"
+
+    def test_unknown_level_rejected(self, time_hierarchy):
+        with pytest.raises(QueryError):
+            time_hierarchy.leaves("year", "1999")
+
+    def test_unknown_member_rejected(self, time_hierarchy):
+        with pytest.raises(QueryError):
+            time_hierarchy.leaves("month", "Mar")
+
+    def test_unknown_leaf_rejected(self, time_hierarchy):
+        with pytest.raises(QueryError):
+            time_hierarchy.member_of("month", "d99")
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(SchemaError):
+            Hierarchy("x", {})
+
+    def test_inconsistent_leaf_sets_rejected(self):
+        with pytest.raises(SchemaError):
+            Hierarchy("x", {"a": {"l1": "m"}, "b": {"l2": "m"}})
+
+    def test_check_well_formed(self, time_hierarchy):
+        time_hierarchy.check_well_formed(["d1", "d2", "d3", "d4"])
+        with pytest.raises(SchemaError):
+            time_hierarchy.check_well_formed(["d1", "d9"])
+
+
+class TestCompilation:
+    def test_compile_member(self, time_hierarchy):
+        entry = HierarchyMember("month", "Jan")
+        assert compile_member(time_hierarchy, entry) == ["d1", "d2"]
+
+    def test_compile_spec_mixed(self, time_hierarchy):
+        spec = compile_spec(
+            ("S1", HierarchyMember("month", "Feb")), {1: time_hierarchy}
+        )
+        assert spec == ("S1", ["d3", "d4"])
+
+    def test_compile_spec_without_hierarchy_rejected(self, time_hierarchy):
+        with pytest.raises(QueryError):
+            compile_spec((HierarchyMember("month", "Jan"), "*"), {})
+
+
+class TestHierarchicalQueries:
+    def test_member_range_query(self, warehouse, time_hierarchy):
+        spec = compile_spec(
+            ("*", HierarchyMember("month", "Jan")), {1: time_hierarchy}
+        )
+        results = warehouse.range(spec)
+        # Point cells keep the queried shape (store stays *); values come
+        # from each cell's class (here the (S1, dX) classes).
+        assert results == {("*", "d1"): 10.0, ("*", "d2"): 20.0}
+
+    def test_rollup_by_level_month(self, warehouse, time_hierarchy):
+        totals = rollup_by_level(warehouse, "day", time_hierarchy, "month")
+        assert totals == {"Jan": 30.0, "Feb": 12.0}
+
+    def test_rollup_by_level_quarter(self, warehouse, time_hierarchy):
+        totals = rollup_by_level(warehouse, "day", time_hierarchy, "quarter")
+        assert totals == {"Q1": 42.0}
+
+    def test_rollup_with_base_constraint(self, warehouse, time_hierarchy):
+        totals = rollup_by_level(
+            warehouse, "day", time_hierarchy, "month",
+            base_spec=("S2", "*"),
+        )
+        assert totals == {"Feb": 12.0}
+
+    def test_rollup_respects_count_aggregate(self, time_hierarchy):
+        schema = Schema(dimensions=("store", "day"), measures=("sales",))
+        wh = QCWarehouse.from_records(
+            [("S1", "d1", 1.0), ("S1", "d2", 1.0), ("S2", "d2", 1.0)],
+            schema, aggregate="count",
+        )
+        totals = rollup_by_level(wh, "day", time_hierarchy, "month")
+        assert totals == {"Jan": 3}

@@ -1,0 +1,154 @@
+"""Tests for iceberg queries (§4.3): pure via the measure index, and the
+two constrained strategies (filter / mark)."""
+
+import random
+
+import pytest
+
+from repro.core.cells import ALL
+from repro.core.construct import build_qctree
+from repro.core.iceberg import MeasureIndex, constrained_iceberg, pure_iceberg
+from repro.core.range_query import range_query
+from repro.cube.lattice import full_cube
+from repro.errors import QueryError
+from tests.conftest import make_random_table
+
+
+class TestMeasureIndex:
+    def test_indexes_every_class(self, sales_table):
+        tree = build_qctree(sales_table, ("avg", "Sale"))
+        index = MeasureIndex(tree)
+        assert len(index) == tree.n_classes
+
+    def test_nodes_satisfying_operators(self, sales_table):
+        tree = build_qctree(sales_table, ("avg", "Sale"))
+        index = MeasureIndex(tree)
+        values = lambda nodes: sorted(tree.value_at(n) for n in nodes)
+        assert values(index.nodes_satisfying(9, ">=")) == [9.0, 9.0, 9.0, 12.0]
+        assert values(index.nodes_satisfying(9, ">")) == [12.0]
+        assert values(index.nodes_satisfying(7.5, "<=")) == [6.0, 7.5]
+        assert values(index.nodes_satisfying(7.5, "<")) == [6.0]
+
+    def test_unknown_operator_rejected(self, sales_table):
+        tree = build_qctree(sales_table, "count")
+        with pytest.raises(QueryError):
+            MeasureIndex(tree).nodes_satisfying(1, "==")
+
+    def test_multi_aggregate_needs_key(self, sales_table):
+        tree = build_qctree(sales_table, [("sum", "Sale"), "count"])
+        with pytest.raises(QueryError):
+            MeasureIndex(tree)
+        index = MeasureIndex(tree, key=lambda v: v[0])
+        assert len(index) == tree.n_classes
+
+    def test_add_discard(self, sales_table):
+        tree = build_qctree(sales_table, "count")
+        index = MeasureIndex(tree)
+        node = next(tree.iter_class_nodes())
+        old_key = tree.value_at(node)
+        index.discard(node, old_key)
+        assert len(index) == tree.n_classes - 1
+        index.add(node)
+        assert len(index) == tree.n_classes
+
+
+class TestPureIceberg:
+    def test_paper_example(self, sales_table):
+        tree = build_qctree(sales_table, ("avg", "Sale"))
+        result = pure_iceberg(tree, 9)
+        decoded = {
+            sales_table.decode_cell(ub): value for ub, value in result
+        }
+        assert decoded == {
+            ("*", "*", "*"): 9.0,
+            ("S1", "*", "s"): 9.0,
+            ("S1", "P2", "s"): 12.0,
+            ("S2", "P1", "f"): 9.0,
+        }
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_class_scan(self, seed):
+        table = make_random_table(seed)
+        tree = build_qctree(table, ("sum", "m"))
+        threshold = 10.0
+        result = dict(pure_iceberg(tree, threshold))
+        expected = {
+            ub: value
+            for ub, value in tree.class_upper_bounds().items()
+            if value >= threshold
+        }
+        assert result == expected
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_classes_stand_for_all_member_cells(self, seed):
+        # Every *cell* whose aggregate clears the threshold belongs to a
+        # returned class, and vice versa (class value == member value).
+        table = make_random_table(seed + 30, n_dims=3, cardinality=3)
+        tree = build_qctree(table, "count")
+        threshold = 2
+        satisfying_ubs = {ub for ub, _ in pure_iceberg(tree, threshold)}
+        oracle = full_cube(table, "count")
+        from repro.cube.lattice import closure
+
+        for cell, value in oracle.items():
+            assert (value >= threshold) == (
+                closure(table, cell) in satisfying_ubs
+            )
+
+    def test_reused_index(self, sales_table):
+        tree = build_qctree(sales_table, ("avg", "Sale"))
+        index = MeasureIndex(tree)
+        assert pure_iceberg(tree, 9, index=index) == pure_iceberg(tree, 9)
+
+
+class TestConstrainedIceberg:
+    @pytest.mark.parametrize("strategy", ["filter", "mark"])
+    def test_matches_range_plus_filter_oracle(self, strategy):
+        for seed in range(12):
+            table = make_random_table(seed)
+            tree = build_qctree(table, ("sum", "m"))
+            rng = random.Random(seed)
+            spec = []
+            for j in range(table.n_dims):
+                cj = table.cardinality(j)
+                roll = rng.random()
+                if roll < 0.4:
+                    spec.append(ALL)
+                else:
+                    spec.append(
+                        sorted(rng.sample(range(cj), min(cj, rng.randint(1, 3))))
+                    )
+            threshold = 15.0
+            expected = {
+                cell: value
+                for cell, value in range_query(tree, spec).items()
+                if value >= threshold
+            }
+            got = constrained_iceberg(
+                tree, spec, threshold, strategy=strategy
+            )
+            assert got == expected, f"seed {seed} strategy {strategy}"
+
+    def test_strategies_agree(self, sales_table):
+        tree = build_qctree(sales_table, ("avg", "Sale"))
+        spec = ([0, 1], ALL, ALL)
+        a = constrained_iceberg(tree, spec, 9, strategy="filter")
+        b = constrained_iceberg(tree, spec, 9, strategy="mark")
+        assert a == b
+
+    def test_mark_with_no_satisfying_classes(self, sales_table):
+        tree = build_qctree(sales_table, ("avg", "Sale"))
+        assert constrained_iceberg(
+            tree, (ALL, ALL, ALL), 1e9, strategy="mark"
+        ) == {}
+
+    def test_unknown_strategy_rejected(self, sales_table):
+        tree = build_qctree(sales_table, "count")
+        with pytest.raises(QueryError):
+            constrained_iceberg(tree, (ALL, ALL, ALL), 1, strategy="wat")
+
+    def test_below_threshold_operator(self, sales_table):
+        tree = build_qctree(sales_table, ("avg", "Sale"))
+        got = constrained_iceberg(tree, (ALL, [0, 1], ALL), 7.5, op="<=")
+        decoded = {sales_table.decode_cell(c): v for c, v in got.items()}
+        assert decoded == {("*", "P1", "*"): 7.5}

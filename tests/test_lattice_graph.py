@@ -1,0 +1,110 @@
+"""Tests for the materialized quotient lattice and dot export."""
+
+import networkx as nx
+import pytest
+
+from repro.core.construct import build_qctree
+from repro.core.lattice_graph import (
+    lattice_depths,
+    lattice_to_dot,
+    quotient_lattice,
+    tree_to_dot,
+)
+from repro.cube.quotient import QuotientCube
+from tests.conftest import make_random_table
+
+
+@pytest.fixture
+def sales_lattice(sales_table):
+    qc = QuotientCube.from_table(sales_table, ("avg", "Sale"))
+    return quotient_lattice(qc, sales_table), qc
+
+
+class TestQuotientLattice:
+    def test_figure3_shape(self, sales_lattice, sales_table):
+        graph, qc = sales_lattice
+        assert graph.number_of_nodes() == 6
+        by_bound = {
+            tuple(sales_table.decode_cell(data["upper_bound"])): node
+            for node, data in graph.nodes(data=True)
+        }
+        c1 = by_bound[("*", "*", "*")]
+        c3 = by_bound[("S2", "P1", "f")]
+        c6 = by_bound[("*", "P1", "*")]
+        c5 = by_bound[("S1", "P1", "s")]
+        # Figure 3: C6 is a child of C3 and C5; C1 is a child of C6.
+        assert graph.has_edge(c6, c3)
+        assert graph.has_edge(c6, c5)
+        assert graph.has_edge(c1, c6)
+        # Hasse: no shortcut edge C1 -> C3 (it factors through C6? No —
+        # C1 -> C3 is direct only if no class sits between).
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_single_source_is_most_general_class(self, sales_lattice,
+                                                 sales_table):
+        graph, _ = sales_lattice
+        roots = [n for n in graph if graph.in_degree(n) == 0]
+        assert len(roots) == 1
+        bound = graph.nodes[roots[0]]["upper_bound"]
+        assert sales_table.decode_cell(bound) == ("*", "*", "*")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_edges_follow_cover_inclusion(self, seed):
+        table = make_random_table(seed, n_dims=3, cardinality=3)
+        qc = QuotientCube.from_table(table, "count")
+        graph = quotient_lattice(qc, table)
+        covers = {
+            node: frozenset(table.select(data["upper_bound"]))
+            for node, data in graph.nodes(data=True)
+        }
+        for src, dst in graph.edges:
+            assert covers[dst] < covers[src]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_hasse_has_no_transitive_edges(self, seed):
+        table = make_random_table(seed + 20, n_dims=3, cardinality=3)
+        qc = QuotientCube.from_table(table, "count")
+        graph = quotient_lattice(qc, table)
+        for src, dst in list(graph.edges):
+            for mid in graph.successors(src):
+                if mid != dst:
+                    assert not graph.has_edge(mid, dst) or not graph.has_edge(
+                        src, mid
+                    ) or (src, dst) not in graph.edges or True
+        reduced = nx.transitive_reduction(graph)
+        assert set(reduced.edges) == set(graph.edges)
+
+    def test_lattice_depths(self, sales_lattice):
+        graph, _ = sales_lattice
+        depths = lattice_depths(graph)
+        assert min(depths.values()) == 0
+        assert max(depths.values()) >= 1
+
+    def test_bound_approximation_without_table(self, sales_table):
+        qc = QuotientCube.from_table(sales_table, "count")
+        graph = quotient_lattice(qc)  # generalization-order approximation
+        assert nx.is_directed_acyclic_graph(graph)
+        assert graph.number_of_nodes() == len(qc)
+
+
+class TestDotExport:
+    def test_lattice_dot(self, sales_lattice, sales_table):
+        graph, _ = sales_lattice
+        dot = lattice_to_dot(graph, decoder=sales_table.decode_value)
+        assert dot.startswith("digraph quotient_lattice")
+        assert "S2, P1, f" in dot
+        assert dot.count("->") == graph.number_of_edges()
+
+    def test_tree_dot(self, sales_table):
+        tree = build_qctree(sales_table, ("avg", "Sale"))
+        dot = tree_to_dot(tree, decoder=sales_table.decode_value)
+        assert dot.startswith("digraph qctree")
+        assert "Root" in dot
+        assert dot.count("style=dashed") == tree.n_links
+        solid_edges = dot.count("->") - tree.n_links
+        assert solid_edges == tree.n_nodes - 1
+
+    def test_dot_quotes_labels(self, sales_table):
+        tree = build_qctree(sales_table, "count")
+        dot = tree_to_dot(tree)
+        assert '"' in dot and "\n" in dot

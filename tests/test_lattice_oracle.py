@@ -1,0 +1,153 @@
+"""Tests for the brute-force lattice oracle itself (repro.cube.lattice).
+
+The oracle underpins every other correctness test, so its own invariants
+get checked directly: closure is a closure operator, enumeration is
+complete, convexity holds, and Lemma 1's guarantees are observable.
+"""
+
+import pytest
+
+from repro.core.cells import ALL, generalizations, generalizes
+from repro.cube.lattice import (
+    cell_aggregate,
+    closed_cells,
+    closure,
+    count_nonempty_cells,
+    cover_rows,
+    drilldown_children,
+    full_cube,
+    is_convex_partition,
+    iter_nonempty_cells,
+    quotient_classes,
+)
+from tests.conftest import all_cells, make_random_table
+
+
+class TestClosureOperator:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_extensive(self, seed):
+        table = make_random_table(seed)
+        for cell in all_cells(table):
+            c = closure(table, cell)
+            if c is not None:
+                assert generalizes(cell, c)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_idempotent(self, seed):
+        table = make_random_table(seed + 10)
+        for cell in all_cells(table):
+            c = closure(table, cell)
+            if c is not None:
+                assert closure(table, c) == c
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_monotone(self, seed):
+        table = make_random_table(seed + 20, n_dims=3, cardinality=2)
+        cells = [c for c in all_cells(table) if closure(table, c) is not None]
+        for a in cells[:20]:
+            for b in cells[:20]:
+                if generalizes(a, b):
+                    assert generalizes(closure(table, a), closure(table, b))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_preserves_cover(self, seed):
+        table = make_random_table(seed + 30)
+        for cell in all_cells(table):
+            c = closure(table, cell)
+            if c is not None:
+                assert cover_rows(table, c) == cover_rows(table, cell)
+
+    def test_empty_cover_returns_none(self, sales_table):
+        assert closure(sales_table, sales_table.encode_cell(("S2", "*", "s"))) is None
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_nonempty_cells_exact(self, seed):
+        table = make_random_table(seed + 40)
+        enumerated = set(iter_nonempty_cells(table))
+        expected = {
+            cell for cell in all_cells(table) if table.select(cell)
+        }
+        assert enumerated == expected
+        assert count_nonempty_cells(table) == len(expected)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_closed_cells_are_fixed_points(self, seed):
+        table = make_random_table(seed + 50)
+        for cell in closed_cells(table):
+            assert closure(table, cell) == cell
+
+    def test_full_cube_values(self, sales_table):
+        cube = full_cube(sales_table, ("avg", "Sale"))
+        assert cube[sales_table.encode_cell(("*", "P1", "*"))] == 7.5
+        assert len(cube) == 18
+
+    def test_cell_aggregate(self, sales_table):
+        cell = sales_table.encode_cell(("S1", "*", "*"))
+        assert cell_aggregate(sales_table, ("sum", "Sale"), cell) == 18.0
+        missing = sales_table.encode_cell(("S2", "*", "s"))
+        assert cell_aggregate(sales_table, "count", missing) is None
+
+
+class TestQuotientOracle:
+    def test_lemma1_unique_upper_bound(self, sales_table):
+        for qclass in quotient_classes(sales_table, "count"):
+            maximal = [
+                c
+                for c in qclass.members
+                if not any(
+                    generalizes(c, d) and c != d for d in qclass.members
+                )
+            ]
+            assert maximal == [qclass.upper_bound]
+
+    def test_lemma1_equal_aggregates_within_class(self, sales_table):
+        cube = full_cube(sales_table, ("avg", "Sale"))
+        for qclass in quotient_classes(sales_table, ("avg", "Sale")):
+            for member in qclass.members:
+                assert cube[member] == qclass.value
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_classes_partition_the_cube(self, seed):
+        table = make_random_table(seed + 60, n_dims=3, cardinality=3)
+        classes = quotient_classes(table, "count")
+        seen = set()
+        for qclass in classes:
+            for member in qclass.members:
+                assert member not in seen
+                seen.add(member)
+        assert seen == set(iter_nonempty_cells(table))
+
+    def test_convexity_detector_accepts_cover_partition(self, sales_table):
+        assert is_convex_partition(
+            sales_table, quotient_classes(sales_table, "count")
+        )
+
+    def test_convexity_detector_rejects_hole(self, sales_table):
+        """The paper's §2.1 example: value-only grouping is not convex."""
+        cube = full_cube(sales_table, ("avg", "Sale"))
+
+        class FakeClass:
+            def __init__(self, members):
+                self.members = members
+
+        by_value = {}
+        for cell, value in cube.items():
+            by_value.setdefault(value, []).append(cell)
+        classes = [FakeClass(m) for m in by_value.values()]
+        assert not is_convex_partition(sales_table, classes)
+
+
+class TestDrilldownChildren:
+    def test_paper_example(self, sales_table):
+        cell = sales_table.encode_cell(("S2", "*", "*"))
+        children = {
+            sales_table.decode_cell(c)
+            for c in drilldown_children(sales_table, cell)
+        }
+        assert children == {("S2", "P1", "*"), ("S2", "*", "f")}
+
+    def test_base_tuple_has_no_children(self, sales_table):
+        cell = sales_table.encode_cell(("S2", "P1", "f"))
+        assert list(drilldown_children(sales_table, cell)) == []

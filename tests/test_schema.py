@@ -1,0 +1,95 @@
+"""Tests for schema objects (repro.cube.schema)."""
+
+import pytest
+
+from repro.cube.schema import Dimension, Measure, Schema
+from repro.errors import SchemaError
+
+
+class TestConstruction:
+    def test_strings_normalized(self):
+        schema = Schema(dimensions=("A", "B"), measures=("m",))
+        assert all(isinstance(d, Dimension) for d in schema.dimensions)
+        assert all(isinstance(m, Measure) for m in schema.measures)
+
+    def test_instances_accepted(self):
+        schema = Schema(dimensions=(Dimension("A"),), measures=(Measure("m"),))
+        assert schema.dimension_names == ("A",)
+
+    def test_empty_dimensions_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(dimensions=(), measures=("m",))
+
+    def test_no_measures_allowed(self):
+        schema = Schema(dimensions=("A",))
+        assert schema.n_measures == 0
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(dimensions=("A", "A"))
+
+    def test_dimension_measure_name_clash_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(dimensions=("A",), measures=("A",))
+
+    def test_empty_dimension_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Dimension("")
+
+    def test_empty_measure_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Measure("")
+
+
+class TestLookups:
+    @pytest.fixture
+    def schema(self):
+        return Schema(dimensions=("A", "B", "C"), measures=("m", "n"))
+
+    def test_counts(self, schema):
+        assert schema.n_dims == 3
+        assert schema.n_measures == 2
+
+    def test_dim_index(self, schema):
+        assert schema.dim_index("B") == 1
+
+    def test_dim_index_unknown(self, schema):
+        with pytest.raises(SchemaError):
+            schema.dim_index("Z")
+
+    def test_measure_index(self, schema):
+        assert schema.measure_index("n") == 1
+
+    def test_measure_index_unknown(self, schema):
+        with pytest.raises(SchemaError):
+            schema.measure_index("Z")
+
+
+class TestDerivation:
+    @pytest.fixture
+    def schema(self):
+        return Schema(dimensions=("A", "B", "C"), measures=("m",))
+
+    def test_reordered_by_name(self, schema):
+        assert schema.reordered(("C", "A", "B")).dimension_names == ("C", "A", "B")
+
+    def test_reordered_by_index(self, schema):
+        assert schema.reordered((2, 0, 1)).dimension_names == ("C", "A", "B")
+
+    def test_reordered_keeps_measures(self, schema):
+        assert schema.reordered((2, 0, 1)).measure_names == ("m",)
+
+    def test_reordered_not_permutation_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.reordered((0, 0, 1))
+
+    def test_projected(self, schema):
+        assert schema.projected(("C", "A")).dimension_names == ("C", "A")
+
+    def test_projected_empty_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.projected(())
+
+    def test_projected_duplicate_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.projected(("A", "A"))

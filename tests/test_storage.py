@@ -1,0 +1,81 @@
+"""Tests for the storage cost models (repro.storage)."""
+
+import pytest
+
+from repro.core.construct import build_qctree
+from repro.cube.aggregates import make_aggregate
+from repro.dwarf.build import build_dwarf
+from repro.storage import (
+    AGGREGATE_BYTES,
+    POINTER_BYTES,
+    VALUE_BYTES,
+    _aggregate_width,
+    compression_report,
+    cube_bytes,
+    dwarf_bytes,
+    qc_table_bytes,
+    qctree_bytes,
+)
+from tests.conftest import make_random_table
+
+
+class TestPrimitives:
+    def test_cube_bytes(self):
+        assert cube_bytes(10, 3, 1) == 10 * (3 * VALUE_BYTES + AGGREGATE_BYTES)
+
+    def test_qc_table_bytes_same_row_model(self):
+        assert qc_table_bytes(5, 4, 2) == cube_bytes(5, 4, 2)
+
+    def test_aggregate_width(self):
+        assert _aggregate_width(make_aggregate("count")) == 1
+        assert _aggregate_width(make_aggregate(("avg", "m"))) == 2
+        assert _aggregate_width(
+            make_aggregate([("sum", "m"), ("avg", "m")])
+        ) == 3
+
+    def test_qctree_bytes_counts_parts(self, sales_table):
+        tree = build_qctree(sales_table, "count")
+        expected = (
+            tree.n_nodes * (VALUE_BYTES + 2)
+            + (tree.n_nodes - 1) * POINTER_BYTES
+            + tree.n_links * (VALUE_BYTES + POINTER_BYTES)
+            + tree.n_classes * AGGREGATE_BYTES
+        )
+        assert qctree_bytes(tree) == expected
+
+    def test_dwarf_bytes_positive_and_monotone(self):
+        small = build_dwarf(make_random_table(0, n_rows=3), "count")
+        large = build_dwarf(make_random_table(0, n_rows=12), "count")
+        assert 0 < dwarf_bytes(small) <= dwarf_bytes(large)
+
+
+class TestCompressionReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        table = make_random_table(1, n_dims=4, cardinality=3, n_rows=12)
+        return compression_report(table, "count")
+
+    def test_contains_all_structures(self, report):
+        for key in ("cube_bytes", "qc_table_bytes", "qctree_bytes",
+                    "dwarf_bytes"):
+            assert report[key] > 0
+
+    def test_ratios_relative_to_cube(self, report):
+        for name in ("qc_table", "qctree", "dwarf"):
+            expected = 100.0 * report[f"{name}_bytes"] / report["cube_bytes"]
+            assert report[f"{name}_ratio_pct"] == pytest.approx(expected)
+
+    def test_quotient_compresses_cube(self, report):
+        # The quotient structures must never exceed the full cube here.
+        assert report["qc_table_bytes"] < report["cube_bytes"]
+        assert report["qctree_bytes"] < report["cube_bytes"]
+
+    def test_counts_are_consistent(self, report):
+        assert report["qc_classes"] <= report["cube_cells"]
+        assert report["qctree_nodes"] >= report["qc_classes"]
+
+    def test_without_dwarf(self):
+        table = make_random_table(2, n_dims=3, n_rows=8)
+        report = compression_report(table, "count", include_dwarf=False)
+        assert "dwarf_bytes" not in report
+        assert "qctree_ratio_pct" in report

@@ -1,0 +1,169 @@
+"""Tests for the dictionary-encoded base table (repro.cube.table)."""
+
+import pytest
+
+from repro.core.cells import ALL
+from repro.cube.schema import Schema
+from repro.cube.table import BaseTable
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return Schema(dimensions=("A", "B"), measures=("m",))
+
+
+@pytest.fixture
+def table(schema):
+    return BaseTable.from_records(
+        [("x", "p", 1.0), ("y", "q", 2.0), ("x", "q", 3.0)], schema
+    )
+
+
+class TestFromRecords:
+    def test_shape(self, table):
+        assert table.n_rows == 3
+        assert table.n_dims == 2
+        assert len(table) == 3
+
+    def test_encoding_is_sorted_by_label(self, table):
+        # labels p < q; x < y
+        assert table.encode_value(0, "x") == 0
+        assert table.encode_value(0, "y") == 1
+        assert table.encode_value(1, "p") == 0
+        assert table.encode_value(1, "q") == 1
+
+    def test_encoding_stable_under_permutation(self, schema):
+        records = [("x", "p", 1.0), ("y", "q", 2.0), ("x", "q", 3.0)]
+        t1 = BaseTable.from_records(records, schema)
+        t2 = BaseTable.from_records(list(reversed(records)), schema)
+        assert sorted(t1.rows) == sorted(t2.rows)
+        assert t1._decoders == t2._decoders
+
+    def test_duplicates_preserved(self, schema):
+        t = BaseTable.from_records([("x", "p", 1.0)] * 3, schema)
+        assert t.n_rows == 3
+
+    def test_wrong_width_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            BaseTable.from_records([("x", "p")], schema)
+
+    def test_measures_matrix(self, table):
+        assert table.measures.shape == (3, 1)
+        assert table.measures[2, 0] == 3.0
+
+
+class TestFromEncoded:
+    def test_roundtrip(self, schema):
+        t = BaseTable.from_encoded([(0, 1), (2, 0)], [[1.0], [2.0]], schema)
+        assert t.rows == [(0, 1), (2, 0)]
+        assert t.cardinalities() == (3, 2)
+
+    def test_explicit_cardinalities(self, schema):
+        t = BaseTable.from_encoded([(0, 0)], [[1.0]], schema,
+                                   cardinalities=[10, 5])
+        assert t.cardinalities() == (10, 5)
+
+    def test_empty(self, schema):
+        t = BaseTable.from_encoded([], [], schema, cardinalities=[2, 2])
+        assert t.n_rows == 0
+
+    def test_wrong_width_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            BaseTable.from_encoded([(0,)], [[1.0]], schema)
+
+
+class TestEncodingApi:
+    def test_encode_cell_with_stars(self, table):
+        assert table.encode_cell(("x", "*", )) == (0, ALL)
+        assert table.encode_cell((None, "q")) == (ALL, 1)
+        assert table.encode_cell((ALL, "q")) == (ALL, 1)
+
+    def test_encode_cell_unknown_label(self, table):
+        with pytest.raises(SchemaError):
+            table.encode_cell(("z", "*"))
+
+    def test_encode_cell_wrong_arity(self, table):
+        with pytest.raises(SchemaError):
+            table.encode_cell(("x",))
+
+    def test_decode_cell(self, table):
+        assert table.decode_cell((0, ALL)) == ("x", "*")
+
+    def test_iter_records(self, table):
+        records = list(table.iter_records())
+        assert records[0][:2] == ("x", "p")
+        assert records[0][2] == 1.0
+
+
+class TestSelect:
+    def test_select_all(self, table):
+        assert table.select((ALL, ALL)) == [0, 1, 2]
+
+    def test_select_value(self, table):
+        assert table.select((0, ALL)) == [0, 2]
+
+    def test_select_empty(self, table):
+        assert table.select((1, 0)) == []
+
+
+class TestDerivation:
+    def test_extended_appends_fresh_codes(self, table):
+        new, delta = table.extended([("z", "p", 4.0)])
+        assert new.n_rows == 4
+        assert new.encode_value(0, "x") == 0  # old codes preserved
+        assert new.encode_value(0, "z") == 2  # fresh code appended
+        assert delta.n_rows == 1
+        assert delta.rows[0] == (2, 0)
+
+    def test_extended_empty(self, table):
+        new, delta = table.extended([])
+        assert new.n_rows == 3 and delta.n_rows == 0
+
+    def test_extended_wrong_width(self, table):
+        with pytest.raises(SchemaError):
+            table.extended([("z", "p")])
+
+    def test_without_rows(self, table):
+        t = table.without_rows([1])
+        assert t.n_rows == 2
+        assert t.rows == [table.rows[0], table.rows[2]]
+        assert list(t.measures[:, 0]) == [1.0, 3.0]
+
+    def test_without_rows_out_of_range(self, table):
+        with pytest.raises(SchemaError):
+            table.without_rows([99])
+
+    def test_subset(self, table):
+        t = table.subset([2, 0])
+        assert t.rows == [table.rows[2], table.rows[0]]
+
+    def test_projected(self, table):
+        t = table.projected(("B",))
+        assert t.n_dims == 1
+        assert t.schema.dimension_names == ("B",)
+        assert t.n_rows == 3
+
+    def test_reordered(self, table):
+        t = table.reordered(("B", "A"))
+        assert t.schema.dimension_names == ("B", "A")
+        decoded = {tuple(r[:2]) for r in t.iter_records()}
+        assert decoded == {("p", "x"), ("q", "y"), ("q", "x")}
+
+
+class TestCsv:
+    def test_roundtrip(self, table, schema, tmp_path):
+        path = tmp_path / "t.csv"
+        table.to_csv(path)
+        loaded = BaseTable.from_csv(path, schema)
+        assert loaded.n_rows == table.n_rows
+        assert sorted(tuple(r[:2]) for r in loaded.iter_records()) == sorted(
+            tuple(r[:2]) for r in table.iter_records()
+        )
+
+    def test_header_mismatch_rejected(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        table.to_csv(path)
+        other = Schema(dimensions=("X", "Y"), measures=("m",))
+        with pytest.raises(SchemaError):
+            BaseTable.from_csv(path, other)

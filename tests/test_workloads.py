@@ -1,0 +1,104 @@
+"""Tests for the query-workload generators."""
+
+import pytest
+
+from repro.core.cells import ALL
+from repro.core.construct import build_qctree
+from repro.core.point_query import point_query
+from repro.data.synthetic import zipf_table
+from repro.data.workloads import (
+    iceberg_thresholds,
+    point_query_workload,
+    range_query_workload,
+)
+from repro.errors import QueryError
+
+
+@pytest.fixture(scope="module")
+def table():
+    return zipf_table(300, 4, 8, seed=0)
+
+
+class TestPointWorkload:
+    def test_count_and_arity(self, table):
+        queries = point_query_workload(table, 50, seed=1)
+        assert len(queries) == 50
+        assert all(len(q) == table.n_dims for q in queries)
+
+    def test_deterministic(self, table):
+        assert point_query_workload(table, 20, seed=1) == point_query_workload(
+            table, 20, seed=1
+        )
+
+    def test_values_in_domain(self, table):
+        for query in point_query_workload(table, 50, seed=2):
+            for j, v in enumerate(query):
+                assert v is ALL or 0 <= v < table.cardinality(j)
+
+    def test_mostly_hits(self, table):
+        tree = build_qctree(table, "count")
+        queries = point_query_workload(table, 100, seed=3,
+                                       miss_probability=0.0)
+        hits = sum(1 for q in queries if point_query(tree, q) is not None)
+        assert hits == 100
+
+    def test_misses_generated(self, table):
+        tree = build_qctree(table, "count")
+        queries = point_query_workload(table, 200, seed=4,
+                                       miss_probability=1.0)
+        misses = sum(1 for q in queries if point_query(tree, q) is None)
+        assert misses > 0
+
+    def test_empty_table_rejected(self, table):
+        empty = table.without_rows(range(table.n_rows))
+        with pytest.raises(QueryError):
+            point_query_workload(empty, 10)
+
+
+class TestRangeWorkload:
+    def test_range_dimension_counts(self, table):
+        queries = range_query_workload(table, 40, seed=1, min_range_dims=1,
+                                       max_range_dims=3)
+        for spec in queries:
+            ranges = [e for e in spec if isinstance(e, list)]
+            assert 1 <= len(ranges) <= 3
+
+    def test_values_per_range(self, table):
+        queries = range_query_workload(table, 30, seed=2, values_per_range=3)
+        for spec in queries:
+            for entry in spec:
+                if isinstance(entry, list):
+                    assert len(entry) == 3
+                    assert entry == sorted(set(entry))
+
+    def test_full_domain_ranges(self, table):
+        queries = range_query_workload(table, 10, seed=3,
+                                       values_per_range="full")
+        for spec in queries:
+            for j, entry in enumerate(spec):
+                if isinstance(entry, list):
+                    assert entry == list(range(table.cardinality(j)))
+
+    def test_invalid_bounds_rejected(self, table):
+        with pytest.raises(QueryError):
+            range_query_workload(table, 5, min_range_dims=0)
+        with pytest.raises(QueryError):
+            range_query_workload(table, 5, max_range_dims=99)
+
+    def test_deterministic(self, table):
+        assert range_query_workload(table, 10, seed=7) == range_query_workload(
+            table, 10, seed=7
+        )
+
+
+class TestThresholds:
+    def test_quantiles(self):
+        values = list(range(100))
+        assert iceberg_thresholds(values, (0.5, 0.9)) == [50, 90]
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            iceberg_thresholds([])
+
+    def test_extremes_clamped(self):
+        assert iceberg_thresholds([1, 2, 3], (0.0, 1.0)) == [1, 3]
