@@ -22,10 +22,14 @@ from repro.core.maintenance import (
 )
 from repro.cube import BaseTable, Schema, make_aggregate
 from repro.errors import (
-    MaintenanceError, QueryError, ReproError, SchemaError, SerializationError,
+    MaintenanceError, QueryError, RecoveryError, ReproError, SchemaError,
+    SerializationError,
+)
+from repro.reliability import (
+    FsckReport, WriteAheadLog, fsck_tree, transactional,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALL", "QCTree", "QCWarehouse", "build_qctree", "locate",
@@ -39,5 +43,6 @@ __all__ = [
     "delete_one_by_one", "insert_one_by_one",
     "BaseTable", "Schema", "make_aggregate",
     "ReproError", "SchemaError", "QueryError", "MaintenanceError",
-    "SerializationError",
+    "SerializationError", "RecoveryError",
+    "FsckReport", "WriteAheadLog", "fsck_tree", "transactional",
 ]

@@ -9,10 +9,14 @@ pipeline can be driven from the shell::
     python -m repro point sales.qct --table sales.csv "S2,*,f"
     python -m repro range sales.qct --table sales.csv "S1|S2,*,f"
     python -m repro iceberg sales.qct --table sales.csv --threshold 9
+    python -m repro fsck sales.qct --table sales.csv
     python -m repro dump sales.qct --table sales.csv
 
 Cells use ``,`` between dimensions and ``*`` for ALL; range dimensions
 separate candidate values with ``|``.
+
+Exit status: 0 on success, 1 on any error (bad input, missing or
+corrupt files), 2 when ``fsck`` finds corruption.
 """
 
 from __future__ import annotations
@@ -20,11 +24,13 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import __version__
 from repro.core.serialize import load_qctree_from, save_qctree
 from repro.core.warehouse import QCWarehouse
 from repro.cube.schema import Schema
 from repro.cube.table import BaseTable
 from repro.errors import ReproError
+from repro.reliability.fsck import fsck_tree
 
 
 def _schema_from_args(args) -> Schema:
@@ -38,13 +44,7 @@ def _load_warehouse(args) -> QCWarehouse:
     tree = load_qctree_from(args.tree)
     schema = Schema(dimensions=tree.dim_names, measures=args_measures(args))
     table = BaseTable.from_csv(args.table, schema)
-    wh = QCWarehouse.__new__(QCWarehouse)
-    wh.table = table
-    wh.tree = tree
-    wh.aggregate = tree.aggregate
-    wh._index = None
-    wh._index_key = None
-    return wh
+    return QCWarehouse(table, aggregate=tree.aggregate, tree=tree)
 
 
 def args_measures(args):
@@ -131,9 +131,29 @@ def cmd_dump(args) -> int:
     return 0
 
 
+def cmd_fsck(args) -> int:
+    tree = load_qctree_from(args.tree)
+    table = None
+    if args.table is not None:
+        schema = Schema(
+            dimensions=tree.dim_names, measures=args_measures(args)
+        )
+        table = BaseTable.from_csv(args.table, schema)
+    report = fsck_tree(
+        tree, table=table, samples=args.samples, seed=args.seed
+    )
+    for issue in report.issues:
+        print(issue)
+    print(f"{args.tree}: {report.summary()}")
+    return 0 if report.ok else 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="QC-tree warehouse command line"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -173,20 +193,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_dump = with_table(sub.add_parser("dump", help="pretty-print the tree"))
     p_dump.set_defaults(func=cmd_dump)
+
+    p_fsck = sub.add_parser(
+        "fsck", help="verify a saved tree's invariants (exit 2 on corruption)"
+    )
+    p_fsck.add_argument("tree")
+    p_fsck.add_argument("--table", default=None,
+                        help="CSV base table enabling aggregate re-derivation")
+    p_fsck.add_argument("--measures", default="",
+                        help="comma-separated measure column names "
+                             "(inferred from the CSV header by default)")
+    p_fsck.add_argument("--samples", type=int, default=64,
+                        help="classes to re-aggregate (0 = all; default 64)")
+    p_fsck.add_argument("--seed", type=int, default=0,
+                        help="sampling seed (default 0)")
+    p_fsck.set_defaults(func=cmd_fsck)
     return parser
 
 
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "samples", None) == 0:
+        args.samples = None  # fsck: 0 means "check every class"
     try:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return 1
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return 1
 
 
 if __name__ == "__main__":

@@ -32,6 +32,7 @@ from repro.core.point_query import locate
 from repro.core.qctree import QCTree
 from repro.cube.table import BaseTable
 from repro.errors import MaintenanceError
+from repro.reliability.transactional import transactional
 
 
 def _class_nodes_below(tree: QCTree, cell: Cell) -> dict:
@@ -263,6 +264,9 @@ def apply_deletions(tree: QCTree, table: BaseTable, records) -> BaseTable:
     Each record's dimension labels must match existing rows; measure
     values are ignored for matching (the paper deletes by key).  Raises
     :class:`MaintenanceError` when a record has no matching row left.
+    The operation is transactional: validation happens before any
+    mutation, and a failure inside the batch rolls the tree back, so the
+    tree (and the caller's table) is observably unchanged on error.
     """
     n_dims = table.n_dims
     wanted = Counter()
@@ -291,7 +295,8 @@ def apply_deletions(tree: QCTree, table: BaseTable, records) -> BaseTable:
 
     delta = _DeltaRows(table.rows[i] for i in drop)
     delta.measures = table.measures[drop]
-    batch_delete(tree, new_table, delta)
+    with transactional(tree):
+        batch_delete(tree, new_table, delta)
     return new_table
 
 

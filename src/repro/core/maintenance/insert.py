@@ -37,7 +37,8 @@ from repro.core.point_query import locate
 from repro.core.qctree import QCTree
 from repro.cube.cover_index import CoverIndex
 from repro.cube.table import BaseTable
-from repro.errors import MaintenanceError
+from repro.errors import MaintenanceError, SchemaError
+from repro.reliability.transactional import transactional
 
 
 _MISSING = object()
@@ -259,10 +260,16 @@ def apply_insertions(tree: QCTree, table: BaseTable, records) -> BaseTable:
     """Insert raw records; returns the extended base table.
 
     Convenience wrapper pairing :meth:`BaseTable.extended` with
-    :func:`batch_insert`.
+    :func:`batch_insert`.  The operation is transactional: it either
+    completes or raises :class:`MaintenanceError` with the tree (and the
+    caller's table, which is never mutated) observably unchanged.
     """
-    new_table, delta = table.extended(records)
-    batch_insert(tree, new_table, delta)
+    try:
+        new_table, delta = table.extended(records)
+    except SchemaError as exc:
+        raise MaintenanceError(f"cannot insert batch: {exc}") from exc
+    with transactional(tree):
+        batch_insert(tree, new_table, delta)
     return new_table
 
 

@@ -1,11 +1,26 @@
 """Versioned persistence for QC-trees.
 
 A warehouse summary structure must survive process restarts, so QC-trees
-serialize to a compact self-describing format: a magic line followed by
+serialize to a compact self-describing format: a magic header followed by
 one JSON document holding the dimension metadata, the aggregate spec, the
 node table (label dim, label value, parent, aggregate state), and the
 link list.  Node ids are compacted on save, so freed slots never leak
 into the file.
+
+Two format versions exist:
+
+``QCTREE/2`` (written)
+    The header line carries a CRC32 of the payload bytes plus the node
+    and link counts — a reader detects truncation, torn writes, and
+    bit rot *before* interpreting the document.  :func:`save_qctree`
+    additionally writes atomically (temp file + flush + fsync +
+    ``os.replace``), so a crash mid-save leaves the previous snapshot
+    intact: a reader observes either the old file or the new one, never
+    a mix.
+
+``QCTREE/1`` (read-only, legacy)
+    The original header-less-checksum format; still loadable so old
+    snapshots survive the upgrade.
 
 Aggregate states are ints, floats, or (nested) tuples; JSON carries them
 as lists, which :func:`load_qctree` converts back.  Only aggregates built
@@ -17,12 +32,19 @@ from __future__ import annotations
 
 import io
 import json
+import os
+import re
+import zlib
 
 from repro.core.qctree import QCTree
 from repro.cube.aggregates import aggregate_spec, make_aggregate
 from repro.errors import SchemaError, SerializationError
 
-_MAGIC = "QCTREE/1"
+_MAGIC_V1 = "QCTREE/1"
+_MAGIC_V2 = "QCTREE/2"
+_V2_HEADER = re.compile(
+    r"^QCTREE/2 crc32=([0-9a-f]{8}) nodes=(\d+) links=(\d+)$"
+)
 
 
 def _spec_to_json(spec):
@@ -57,8 +79,7 @@ def _state_from_json(state):
     return state
 
 
-def dump_qctree(tree: QCTree, fp) -> None:
-    """Write ``tree`` to a text file object."""
+def _document_of(tree: QCTree, meta=None) -> dict:
     order = list(tree.iter_nodes())
     remap = {node: i for i, node in enumerate(order)}
     nodes = []
@@ -82,25 +103,34 @@ def dump_qctree(tree: QCTree, fp) -> None:
         "nodes": nodes,
         "links": links,
     }
-    fp.write(_MAGIC + "\n")
-    json.dump(document, fp)
+    if meta:
+        document["meta"] = dict(meta)
+    return document
 
 
-def load_qctree(fp) -> QCTree:
-    """Read a QC-tree written by :func:`dump_qctree`.
+def dump_qctree(tree: QCTree, fp, meta=None) -> None:
+    """Write ``tree`` to a text file object in the ``QCTREE/2`` format.
 
-    Raises :class:`SerializationError` on bad magic, malformed JSON, or
-    structurally inconsistent content.
+    ``meta`` (an optional JSON-safe dict) rides along inside the
+    checksummed payload and comes back as ``tree.snapshot_meta`` on load
+    — the warehouse uses it to stamp snapshots with the write-ahead-log
+    position they include.
+
+    The whole snapshot is rendered in memory and written with a single
+    ``fp.write`` so the payload the checksum covers is exactly the bytes
+    that hit the stream.
     """
-    magic = fp.readline().strip()
-    if magic != _MAGIC:
-        raise SerializationError(
-            f"bad magic {magic!r}; expected {_MAGIC!r}"
-        )
-    try:
-        document = json.load(fp)
-    except json.JSONDecodeError as exc:
-        raise SerializationError(f"malformed QC-tree payload: {exc}") from exc
+    document = _document_of(tree, meta=meta)
+    payload = json.dumps(document)
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    header = (
+        f"{_MAGIC_V2} crc32={crc:08x} "
+        f"nodes={len(document['nodes'])} links={len(document['links'])}"
+    )
+    fp.write(header + "\n" + payload)
+
+
+def _tree_from_document(document) -> QCTree:
     try:
         aggregate = make_aggregate(document["aggregate"])
         tree = QCTree(
@@ -131,25 +161,146 @@ def load_qctree(fp) -> QCTree:
         raise
     except (KeyError, IndexError, TypeError, ValueError, SchemaError) as exc:
         raise SerializationError(f"corrupt QC-tree payload: {exc}") from exc
+    meta = document.get("meta", {})
+    tree.snapshot_meta = meta if isinstance(meta, dict) else {}
     return tree
 
 
-def save_qctree(tree: QCTree, path) -> None:
-    """Write ``tree`` to ``path``."""
-    with open(path, "w") as fp:
-        dump_qctree(tree, fp)
+def _parse_payload(payload: str, payload_offset: int):
+    """Parse the JSON document, reporting the absolute failing offset."""
+    try:
+        return json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(
+            f"malformed QC-tree payload at offset "
+            f"{payload_offset + exc.pos}: {exc.msg}"
+        ) from exc
+
+
+def load_qctree(fp) -> QCTree:
+    """Read a QC-tree written by :func:`dump_qctree` (v2) or the legacy v1.
+
+    Raises :class:`SerializationError` on bad magic, checksum or count
+    mismatch, malformed JSON, or structurally inconsistent content; the
+    message carries the failing byte offset where one is known.
+    """
+    header = fp.readline()
+    magic = header.strip()
+    payload_offset = len(header)
+    if magic.startswith(_MAGIC_V2):
+        match = _V2_HEADER.match(magic)
+        if match is None:
+            raise SerializationError(
+                f"malformed {_MAGIC_V2} header {magic!r}"
+            )
+        want_crc = int(match.group(1), 16)
+        want_nodes, want_links = int(match.group(2)), int(match.group(3))
+        payload = fp.read()
+        if not payload:
+            raise SerializationError(
+                f"truncated QC-tree file: payload missing at offset "
+                f"{payload_offset}"
+            )
+        got_crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+        if got_crc != want_crc:
+            raise SerializationError(
+                f"checksum mismatch over payload bytes "
+                f"{payload_offset}..{payload_offset + len(payload)}: "
+                f"header says crc32={want_crc:08x}, payload has "
+                f"{got_crc:08x} (truncated or corrupt snapshot)"
+            )
+        document = _parse_payload(payload, payload_offset)
+        try:
+            n_nodes, n_links = len(document["nodes"]), len(document["links"])
+        except (KeyError, TypeError) as exc:
+            raise SerializationError(
+                f"corrupt QC-tree payload: {exc}"
+            ) from exc
+        if (n_nodes, n_links) != (want_nodes, want_links):
+            raise SerializationError(
+                f"count mismatch: header says nodes={want_nodes} "
+                f"links={want_links}, payload has nodes={n_nodes} "
+                f"links={n_links}"
+            )
+        return _tree_from_document(document)
+    if magic == _MAGIC_V1:
+        document = _parse_payload(fp.read(), payload_offset)
+        return _tree_from_document(document)
+    raise SerializationError(
+        f"bad magic {magic!r}; expected {_MAGIC_V2!r} (or legacy "
+        f"{_MAGIC_V1!r})"
+    )
+
+
+def save_qctree(tree: QCTree, path, meta=None) -> None:
+    """Write ``tree`` to ``path`` atomically.
+
+    The snapshot goes to a sibling temp file which is flushed, fsynced,
+    and renamed over ``path`` — the rename is the commit point, so a
+    crash at any earlier step leaves the previous snapshot untouched.
+    The containing directory is fsynced best-effort so the rename itself
+    is durable.  ``meta`` is embedded as in :func:`dump_qctree`.
+    """
+    path = os.fspath(path)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "w") as fp:
+            dump_qctree(tree, fp, meta=meta)
+            fp.flush()
+            os.fsync(fp.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(os.path.dirname(path) or ".")
+
+
+def _fsync_directory(directory: str) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def load_qctree_from(path) -> QCTree:
-    """Read a QC-tree from ``path``."""
-    with open(path) as fp:
-        return load_qctree(fp)
+    """Read a QC-tree from ``path``.
+
+    Any corruption — an empty file, binary garbage, truncation, a bad
+    checksum, malformed JSON — raises :class:`SerializationError` with
+    the path in the message; only genuine I/O failures (missing file,
+    permissions) surface as :class:`OSError`.
+    """
+    path_text = os.fspath(path)
+    with open(path, "rb") as fp:
+        data = fp.read()
+    if not data:
+        raise SerializationError(f"{path_text}: file is empty")
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise SerializationError(
+            f"{path_text}: not a QC-tree file (undecodable byte at "
+            f"offset {exc.start})"
+        ) from exc
+    try:
+        return loads_qctree(text)
+    except SerializationError as exc:
+        raise SerializationError(f"{path_text}: {exc}") from exc
 
 
-def dumps_qctree(tree: QCTree) -> str:
+def dumps_qctree(tree: QCTree, meta=None) -> str:
     """Serialize ``tree`` to a string."""
     buffer = io.StringIO()
-    dump_qctree(tree, buffer)
+    dump_qctree(tree, buffer, meta=meta)
     return buffer.getvalue()
 
 

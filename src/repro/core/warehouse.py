@@ -37,20 +37,48 @@ from repro.core.range_query import range_query_raw
 from repro.core.serialize import load_qctree_from, save_qctree
 from repro.cube.aggregates import make_aggregate
 from repro.cube.schema import Schema
-from repro.cube.table import BaseTable
-from repro.errors import SchemaError
+from repro.cube.table import BaseTable, csv_comment
+from repro.errors import MaintenanceError, QueryError, SchemaError
+from repro.reliability.fsck import fsck_tree, scan_point_query
+from repro.reliability.wal import WriteAheadLog
+
+
+def _stamped_lsn(meta) -> int:
+    """The ``wal_lsn`` stamp of a snapshot meta dict (0 when absent)."""
+    try:
+        return int(meta.get("wal_lsn") or 0)
+    except (AttributeError, TypeError, ValueError):
+        return 0
+
+
+def _csv_stamped_lsn(table_path) -> int:
+    """The ``wal_lsn`` stamp of a table CSV comment (0 when absent)."""
+    try:
+        comment = csv_comment(table_path)
+    except OSError:
+        return 0
+    if not comment or not comment.startswith("wal_lsn="):
+        return 0
+    try:
+        return int(comment.split("=", 1)[1])
+    except ValueError:
+        return 0
 
 
 class QCWarehouse:
     """A queryable, maintainable OLAP warehouse backed by a QC-tree."""
 
     def __init__(self, table: BaseTable, aggregate="count",
-                 tree=None, index_key=None):
+                 tree=None, index_key=None, wal=None):
         self.table = table
         self.aggregate = make_aggregate(aggregate)
         self.tree = tree if tree is not None else build_qctree(table, self.aggregate)
         self._index: Optional[MeasureIndex] = None
         self._index_key = index_key
+        self.wal: Optional[WriteAheadLog] = wal
+        self._degraded = False
+        self._fsck_report = None
+        self.last_recovery: Optional[dict] = None
 
     @classmethod
     def from_records(cls, records, schema: Schema, aggregate="count",
@@ -62,8 +90,27 @@ class QCWarehouse:
     # -- queries -------------------------------------------------------------
 
     def point(self, raw_cell):
-        """Point query with raw labels (``"*"`` / None / ALL for any)."""
+        """Point query with raw labels (``"*"`` / None / ALL for any).
+
+        A degraded warehouse (one whose tree failed :meth:`verify`)
+        answers by scanning the base table instead of routing through
+        the possibly-corrupt tree — slower, but never wrong.
+        """
+        if self._degraded:
+            return self._scan_point(raw_cell)
         return point_query_raw(self.tree, self.table, raw_cell)
+
+    def _scan_point(self, raw_cell):
+        if len(raw_cell) != self.table.n_dims:
+            raise QueryError(
+                f"query cell {raw_cell!r} has {len(raw_cell)} positions, "
+                f"table has {self.table.n_dims} dimensions"
+            )
+        try:
+            cell = self.table.encode_cell(raw_cell)
+        except SchemaError:
+            return None
+        return scan_point_query(self.table, self.aggregate, cell)
 
     def range(self, raw_spec) -> dict:
         """Range query with raw labels; returns ``{decoded cell: value}``."""
@@ -124,12 +171,28 @@ class QCWarehouse:
     # -- maintenance ------------------------------------------------------------
 
     def insert(self, records) -> None:
-        """Insert raw records incrementally (batch)."""
+        """Insert raw records incrementally (batch).
+
+        With a write-ahead log attached (:meth:`attach_wal`), the batch
+        is durably logged *before* the tree mutates, so a crash at any
+        later point is recoverable via :meth:`recover`.  The mutation
+        itself is transactional: on failure the warehouse is unchanged.
+        """
+        records = [tuple(r) for r in records]
+        if self.wal is not None:
+            self.wal.append("insert", records)
         self.table = apply_insertions(self.tree, self.table, records)
         self._index = None
 
     def delete(self, records) -> None:
-        """Delete raw records incrementally (batch, matched on dimensions)."""
+        """Delete raw records incrementally (batch, matched on dimensions).
+
+        Logged ahead of the mutation when a WAL is attached, like
+        :meth:`insert`.
+        """
+        records = [tuple(r) for r in records]
+        if self.wal is not None:
+            self.wal.append("delete", records)
         self.table = apply_deletions(self.tree, self.table, records)
         self._index = None
 
@@ -227,10 +290,22 @@ class QCWarehouse:
     # -- persistence ---------------------------------------------------------------
 
     def save(self, tree_path, table_path=None) -> None:
-        """Persist the QC-tree (and optionally the base table as CSV)."""
-        save_qctree(self.tree, tree_path)
+        """Persist the QC-tree (and optionally the base table as CSV).
+
+        Both writes are atomic; with a WAL attached, both snapshots are
+        stamped with the last log position they include (``wal_lsn``),
+        which lets :meth:`recover` skip already-applied batches.  The
+        table is written *before* the tree, so a crash between the two
+        leaves a recognisable state: a table stamped ahead of the tree
+        (recovery rebuilds the tree from it) rather than the reverse,
+        which would be unrecoverable without a table at the tree's lsn.
+        """
+        lsn = self.wal.last_lsn if self.wal is not None else None
         if table_path is not None:
-            self.table.to_csv(table_path)
+            comment = f"wal_lsn={lsn}" if lsn is not None else None
+            self.table.to_csv(table_path, comment=comment)
+        meta = {"wal_lsn": lsn} if lsn is not None else None
+        save_qctree(self.tree, tree_path, meta=meta)
 
     @classmethod
     def load(cls, tree_path, table_path, schema: Schema,
@@ -238,13 +313,125 @@ class QCWarehouse:
         """Restore a warehouse persisted by :meth:`save`."""
         tree = load_qctree_from(tree_path)
         table = BaseTable.from_csv(table_path, schema)
-        wh = cls.__new__(cls)
-        wh.table = table
-        wh.tree = tree
-        wh.aggregate = tree.aggregate
-        wh._index = None
-        wh._index_key = index_key
+        wh = cls(table, aggregate=tree.aggregate, tree=tree,
+                 index_key=index_key)
         return wh
+
+    # -- durability ------------------------------------------------------------
+
+    def attach_wal(self, wal_path) -> WriteAheadLog:
+        """Start write-ahead logging maintenance batches to ``wal_path``.
+
+        Returns the log; subsequent :meth:`insert`/:meth:`delete` calls
+        append to it before mutating.  Call :meth:`checkpoint` to fold
+        the logged batches into a snapshot and truncate the log.
+        """
+        self.wal = WriteAheadLog(wal_path)
+        return self.wal
+
+    def checkpoint(self, tree_path, table_path=None) -> None:
+        """Snapshot the warehouse, then truncate the WAL.
+
+        Each step is individually atomic and ordered so a crash at any
+        point recovers cleanly: table first, then tree, then the log.
+        The snapshots carry the lsn they include, and WAL sequence
+        numbers are monotonic across truncations, so :meth:`recover`
+        replays exactly the batches the surviving snapshot is missing —
+        never a batch twice.
+        """
+        self.save(tree_path, table_path)
+        if self.wal is not None:
+            self.wal.truncate()
+
+    @classmethod
+    def recover(cls, tree_path, wal_path, table_path, schema: Schema,
+                index_key=None) -> "QCWarehouse":
+        """Rebuild a warehouse after a crash: snapshot + WAL replay.
+
+        Loads the last checkpoint (``tree_path`` + ``table_path``), then
+        re-applies, in order, every committed WAL batch the snapshot's
+        lsn stamp does not already include — so a crash *during* a
+        checkpoint (snapshot written, log not yet truncated) never
+        applies a batch twice.  A torn WAL tail (crash mid-append) is
+        dropped — that batch never committed.  A batch that
+        deterministically refuses to apply
+        (:class:`MaintenanceError`, e.g. it already failed identically
+        before the crash) is skipped and reported rather than wedging
+        recovery.  The returned warehouse keeps logging to the same WAL;
+        ``last_recovery`` records what was replayed.
+        """
+        wh = cls.load(tree_path, table_path, schema, index_key=index_key)
+        tree_lsn = _stamped_lsn(getattr(wh.tree, "snapshot_meta", {}))
+        table_lsn = _csv_stamped_lsn(table_path)
+        rebuilt = False
+        if table_lsn > tree_lsn:
+            # Torn checkpoint: the table snapshot committed but the tree
+            # snapshot (written after it) did not.  The table already
+            # contains every batch up to its stamp, so rebuild the tree
+            # from it rather than replaying into the stale one.
+            wh.rebuild()
+            tree_lsn = table_lsn
+            rebuilt = True
+        wal = WriteAheadLog(wal_path)
+        replayed, skipped = 0, []
+        for record in wal.records():
+            if record.lsn <= tree_lsn:
+                continue  # already folded into the snapshot
+            try:
+                if record.op == "insert":
+                    wh.table = apply_insertions(
+                        wh.tree, wh.table, record.records
+                    )
+                else:
+                    wh.table = apply_deletions(
+                        wh.tree, wh.table, record.records
+                    )
+                replayed += 1
+            except MaintenanceError as exc:
+                skipped.append((record.lsn, str(exc)))
+        wh._index = None
+        wh.wal = wal
+        wh.last_recovery = {
+            "replayed": replayed,
+            "skipped": skipped,
+            "torn_tail": wal.tail_was_torn,
+            "checkpoint_lsn": tree_lsn,
+            "rebuilt": rebuilt,
+        }
+        return wh
+
+    def verify(self, deep: bool = True, samples: Optional[int] = 64,
+               seed: int = 0):
+        """Run the QC-tree fsck; returns the :class:`FsckReport
+        <repro.reliability.fsck.FsckReport>`.
+
+        ``deep=True`` also re-derives sampled class aggregates from the
+        base table.  A failing report flips the warehouse into degraded
+        mode: :meth:`point` answers by base-table scan until a later
+        :meth:`verify` passes (e.g. after the tree is rebuilt).
+        """
+        report = fsck_tree(
+            self.tree,
+            table=self.table if deep else None,
+            samples=samples,
+            seed=seed,
+        )
+        self._degraded = not report.ok
+        self._fsck_report = report
+        return report
+
+    def rebuild(self) -> None:
+        """Rebuild the tree from the base table (recovers from degraded
+        mode when the table itself is trustworthy)."""
+        self.tree = build_qctree(self.table, self.aggregate)
+        self._index = None
+        self._degraded = False
+        self._fsck_report = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when the last :meth:`verify` found corruption."""
+        return self._degraded
 
     # -- reporting -------------------------------------------------------------------
 
@@ -255,11 +442,14 @@ class QCWarehouse:
             n_rows=self.table.n_rows,
             n_dims=self.table.n_dims,
             aggregate=self.aggregate.name,
+            degraded=self._degraded,
         )
         return tree_stats
 
     def __repr__(self):
+        flags = ", degraded" if self._degraded else ""
         return (
             f"QCWarehouse(rows={self.table.n_rows}, "
-            f"classes={self.tree.n_classes}, aggregate={self.aggregate.name})"
+            f"classes={self.tree.n_classes}, "
+            f"aggregate={self.aggregate.name}{flags})"
         )

@@ -18,7 +18,8 @@ maintenance.
 from __future__ import annotations
 
 import csv
-from typing import Iterable, Iterator, Sequence
+import os
+from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -30,6 +31,16 @@ from repro.errors import SchemaError
 def _label_sort_key(label):
     """Sort key tolerating mixed label types within a dimension."""
     return (label.__class__.__name__, label)
+
+
+def csv_comment(path) -> Optional[str]:
+    """The leading ``# ...`` comment of a CSV written by
+    :meth:`BaseTable.to_csv`, or None if the file has none."""
+    with open(path, newline="") as f:
+        first = f.readline()
+    if first.startswith("#"):
+        return first[1:].strip()
+    return None
 
 
 class BaseTable:
@@ -289,22 +300,50 @@ class BaseTable:
 
     # -- CSV I/O ---------------------------------------------------------------
 
-    def to_csv(self, path) -> None:
-        """Write the decoded records with a header row."""
-        with open(path, "w", newline="") as f:
-            writer = csv.writer(f)
-            writer.writerow(
-                list(self.schema.dimension_names) + list(self.schema.measure_names)
-            )
-            for record in self.iter_records():
-                writer.writerow(record)
+    def to_csv(self, path, comment: Optional[str] = None) -> None:
+        """Write the decoded records with a header row, atomically.
+
+        The file goes to a sibling temp path, is flushed and fsynced,
+        and renamed into place — a crash mid-write leaves any previous
+        file untouched.  ``comment``, if given, is written as a leading
+        ``# ...`` line (ignored by :meth:`from_csv`, readable via
+        :func:`csv_comment`); the warehouse uses it to stamp table
+        snapshots with their write-ahead-log position.
+        """
+        path = os.fspath(path)
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "w", newline="") as f:
+                if comment is not None:
+                    f.write(f"# {comment}\n")
+                writer = csv.writer(f)
+                writer.writerow(
+                    list(self.schema.dimension_names)
+                    + list(self.schema.measure_names)
+                )
+                for record in self.iter_records():
+                    writer.writerow(record)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def from_csv(cls, path, schema: Schema) -> "BaseTable":
-        """Read records written by :meth:`to_csv` (measures parsed as float)."""
+        """Read records written by :meth:`to_csv` (measures parsed as float).
+
+        Leading ``#`` comment lines are skipped.
+        """
         with open(path, newline="") as f:
             reader = csv.reader(f)
             header = next(reader)
+            while header and header[0].startswith("#"):
+                header = next(reader)
             expected = list(schema.dimension_names) + list(schema.measure_names)
             if header != expected:
                 raise SchemaError(

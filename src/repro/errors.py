@@ -31,3 +31,12 @@ class MaintenanceError(ReproError):
 
 class SerializationError(ReproError):
     """Raised when loading a QC-tree from a corrupt or incompatible stream."""
+
+
+class RecoveryError(ReproError):
+    """Raised when crash recovery cannot proceed.
+
+    Examples: a write-ahead log with corrupt records in the middle (a torn
+    *tail* is tolerated — it means the last append never committed), or a
+    log whose sequence numbers are inconsistent.
+    """

@@ -1,0 +1,178 @@
+"""Fault injection for proving the durability paths.
+
+Recovery code that has never seen a crash is folklore, not engineering.
+This module simulates the three failure shapes the durability subsystem
+must survive, so tests can drive every recovery path deterministically:
+
+* **exception at the nth I/O operation** — :func:`crash_on_io` patches
+  ``open``/``os.replace``/``os.fsync`` so the (n+1)th I/O primitive
+  raises :class:`InjectedCrash` *instead of executing*, modelling a
+  process death at that exact point.  :func:`count_io` runs a callable
+  once to learn how many such operations it performs, so a test can
+  sweep ``fail_after`` over every step.
+* **torn writes** — :func:`torn_write` truncates an existing file to a
+  prefix, the on-disk outcome of a crash mid-``write(2)`` without an
+  atomic rename protocol.
+* **partial appends** — :func:`partial_append` splices a broken record
+  onto a log, the outcome of a crash mid-append.
+
+:class:`InjectedCrash` deliberately subclasses :class:`BaseException`:
+a crash is not an error the code under test may catch, roll back, and
+convert — ``except Exception`` handlers must not swallow it, exactly as
+they could not swallow a real ``kill -9``.
+"""
+
+from __future__ import annotations
+
+import builtins
+import os
+from contextlib import contextmanager
+
+
+class InjectedCrash(BaseException):
+    """Simulated process death at an injected fault point."""
+
+
+class FaultClock:
+    """Counts I/O operations and raises at a configured point.
+
+    ``fail_after=n`` allows exactly ``n`` operations; the next one
+    raises.  ``fail_after=None`` never raises (used for counting).
+    """
+
+    def __init__(self, fail_after=None):
+        self.fail_after = fail_after
+        self.ops = 0
+        self.trace = []
+
+    def tick(self, label: str) -> None:
+        if self.fail_after is not None and self.ops >= self.fail_after:
+            raise InjectedCrash(
+                f"injected crash at I/O op #{self.ops} ({label})"
+            )
+        self.ops += 1
+        self.trace.append(label)
+
+
+class _CrashyFile:
+    """File proxy whose write-side primitives tick the fault clock."""
+
+    def __init__(self, real, clock: FaultClock, name: str):
+        self._real = real
+        self._clock = clock
+        self._name = name
+
+    def write(self, data):
+        self._clock.tick(f"write:{self._name}")
+        return self._real.write(data)
+
+    def flush(self):
+        self._clock.tick(f"flush:{self._name}")
+        return self._real.flush()
+
+    def close(self):
+        # Closing also flushes buffered data, so it is a fault point.
+        self._clock.tick(f"close:{self._name}")
+        return self._real.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is InjectedCrash:
+            # The process "died": release the descriptor without the
+            # implicit flush a graceful close would perform.
+            try:
+                self._real.close()
+            except OSError:
+                pass
+            return False
+        self.close()
+        return False
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+
+@contextmanager
+def crash_on_io(fail_after=None, path_filter=None):
+    """Patch I/O primitives so the (``fail_after``+1)th operation crashes.
+
+    Counted operations: opening a file for writing/appending, ``write``,
+    ``flush``, ``close`` on such files, ``os.fsync``, and ``os.replace``.
+    Reads are never faulted (crash-during-read is not a durability
+    concern).  ``path_filter`` restricts faulting to matching paths so a
+    test can target one file.  Yields the :class:`FaultClock`, whose
+    ``ops``/``trace`` record what ran.
+    """
+    clock = FaultClock(fail_after)
+    real_open = builtins.open
+    real_replace = os.replace
+    real_fsync = os.fsync
+
+    def matches(path) -> bool:
+        if path_filter is None:
+            return True
+        try:
+            return path_filter(os.fspath(path))
+        except TypeError:
+            return False
+
+    def crashy_open(file, mode="r", *args, **kwargs):
+        writing = any(flag in mode for flag in ("w", "a", "x", "+"))
+        if not writing or not matches(file):
+            return real_open(file, mode, *args, **kwargs)
+        clock.tick(f"open:{file}")
+        return _CrashyFile(
+            real_open(file, mode, *args, **kwargs), clock, str(file)
+        )
+
+    def crashy_replace(src, dst, **kwargs):
+        if matches(src) or matches(dst):
+            clock.tick(f"replace:{dst}")
+        return real_replace(src, dst, **kwargs)
+
+    def crashy_fsync(fd):
+        clock.tick("fsync")
+        return real_fsync(fd)
+
+    builtins.open = crashy_open
+    os.replace = crashy_replace
+    os.fsync = crashy_fsync
+    try:
+        yield clock
+    finally:
+        builtins.open = real_open
+        os.replace = real_replace
+        os.fsync = real_fsync
+
+
+def count_io(operation, path_filter=None) -> int:
+    """Run ``operation`` once under a never-failing clock; return how many
+    I/O operations it performed (the sweep bound for ``crash_on_io``)."""
+    with crash_on_io(fail_after=None, path_filter=path_filter) as clock:
+        operation()
+    return clock.ops
+
+
+def torn_write(path, keep_bytes=None, keep_fraction=0.5) -> int:
+    """Truncate ``path`` to a prefix, simulating a torn (partial) write.
+
+    Keeps ``keep_bytes`` bytes when given, else ``keep_fraction`` of the
+    file.  Returns the number of bytes kept.
+    """
+    with open(path, "rb") as fp:
+        data = fp.read()
+    if keep_bytes is None:
+        keep_bytes = int(len(data) * keep_fraction)
+    keep_bytes = max(0, min(keep_bytes, len(data)))
+    with open(path, "wb") as fp:
+        fp.write(data[:keep_bytes])
+    return keep_bytes
+
+
+def partial_append(path, text="deadbeef {\"lsn\": 99, \"op\": ") -> None:
+    """Append an incomplete record to a log, simulating a crash
+    mid-append (no trailing newline, checksum never completed)."""
+    with open(path, "a") as fp:
+        fp.write(text)

@@ -1,0 +1,226 @@
+"""Write-ahead log for warehouse maintenance batches.
+
+The QC-tree is an in-memory summary; snapshots persist it, but a crash
+between snapshots would lose every batch applied since the last save.
+The WAL closes that window: :meth:`QCWarehouse.insert
+<repro.core.warehouse.QCWarehouse.insert>` and ``delete`` append the raw
+batch here — flushed and fsynced — *before* mutating the tree, so after
+a crash :meth:`QCWarehouse.recover` can replay the un-checkpointed
+batches on top of the last snapshot.  A successful checkpoint truncates
+the log.
+
+File format (text, UTF-8)::
+
+    QCWAL/1 base=0
+    <crc32 hex> {"lsn": 1, "op": "insert", "records": [...]}
+    <crc32 hex> {"lsn": 2, "op": "delete", "records": [...]}
+
+One record per line; the CRC32 covers the JSON text.  A *torn tail* — a
+final line that is incomplete or fails its checksum — is expected after
+a crash mid-append and is silently dropped: the append never committed,
+and the in-memory mutation it preceded died with the process.  A corrupt
+record *followed by* valid ones cannot be explained by a torn append and
+raises :class:`RecoveryError` instead of silently skipping committed
+batches.
+
+Sequence numbers are **monotonic across truncations**: :meth:`truncate`
+records the last assigned lsn in the header (``base=<n>``) so later
+appends continue the sequence.  That lets a snapshot stamped with the
+lsn it includes (see :meth:`QCWarehouse.checkpoint
+<repro.core.warehouse.QCWarehouse.checkpoint>`) be compared against any
+later log state without ambiguity — replay skips records the snapshot
+already contains instead of applying them twice.  A bare ``QCWAL/1``
+header (older files) means ``base=0``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import RecoveryError
+
+_MAGIC = "QCWAL/1"
+_HEADER = re.compile(r"^QCWAL/1(?: base=(\d+))?$")
+_OPS = ("insert", "delete")
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One committed maintenance batch: a sequence number, an operation
+    (``"insert"`` or ``"delete"``), and the raw records of the batch."""
+
+    lsn: int
+    op: str
+    records: tuple
+
+
+class WriteAheadLog:
+    """An append-only, checksummed batch log at ``path``.
+
+    Opening scans any existing log (validating it) so appends continue
+    the sequence; a missing file is created with just the magic header.
+    """
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self.tail_was_torn = False
+        self.base_lsn = 0
+        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+            records = self._scan()
+            last = records[-1].lsn if records else self.base_lsn
+            self._next_lsn = last + 1
+        else:
+            # Missing, or created-but-empty (a crash before the header
+            # committed): start a fresh log.
+            self._write_header(base=0)
+            self._next_lsn = 1
+
+    # -- appending ---------------------------------------------------------
+
+    def append(self, op: str, records) -> int:
+        """Durably append one batch; returns its sequence number.
+
+        The line is flushed and fsynced before the call returns, so once
+        a caller proceeds to mutate the tree the batch is guaranteed to
+        be replayable.
+        """
+        if op not in _OPS:
+            raise RecoveryError(f"unknown WAL operation {op!r}")
+        lsn = self._next_lsn
+        body = json.dumps(
+            {"lsn": lsn, "op": op, "records": [list(r) for r in records]}
+        )
+        crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+        with open(self.path, "a") as fp:
+            fp.write(f"{crc:08x} {body}\n")
+            fp.flush()
+            os.fsync(fp.fileno())
+        self._next_lsn = lsn + 1
+        return lsn
+
+    # -- reading -----------------------------------------------------------
+
+    def records(self) -> List[WalRecord]:
+        """All committed batches, oldest first (torn tail dropped)."""
+        return self._scan()
+
+    def __iter__(self) -> Iterator[WalRecord]:
+        return iter(self.records())
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    def _scan(self) -> List[WalRecord]:
+        with open(self.path, "rb") as fp:
+            data = fp.read()
+        if not data:
+            # An empty file is what a crash between creating the log and
+            # writing its header leaves behind; there is nothing to lose.
+            return []
+        lines = data.split(b"\n")
+        header = lines[0].decode("utf-8", errors="replace").strip()
+        match = _HEADER.match(header)
+        if match is None:
+            raise RecoveryError(
+                f"{self.path}: bad WAL magic {header!r}; expected {_MAGIC!r}"
+            )
+        self.base_lsn = int(match.group(1) or 0)
+        out: List[WalRecord] = []
+        torn_at: Optional[int] = None
+        for lineno, raw in enumerate(lines[1:], start=2):
+            if not raw.strip():
+                continue  # blank (including the final empty split element)
+            record = self._parse_line(raw)
+            if record is None:
+                if torn_at is None:
+                    torn_at = lineno
+                continue
+            if torn_at is not None:
+                raise RecoveryError(
+                    f"{self.path}: corrupt record at line {torn_at} is "
+                    f"followed by valid record(s) — the log is damaged, "
+                    f"not merely torn"
+                )
+            previous = out[-1].lsn if out else self.base_lsn
+            if record.lsn != previous + 1:
+                raise RecoveryError(
+                    f"{self.path}: sequence break at line {lineno}: lsn "
+                    f"{record.lsn} follows {previous}"
+                )
+            out.append(record)
+        self.tail_was_torn = torn_at is not None
+        return out
+
+    @staticmethod
+    def _parse_line(raw: bytes) -> Optional[WalRecord]:
+        """Parse one log line; None means unparseable (candidate torn tail)."""
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError:
+            return None
+        prefix, sep, body = text.partition(" ")
+        if not sep or len(prefix) != 8:
+            return None
+        try:
+            want_crc = int(prefix, 16)
+        except ValueError:
+            return None
+        if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != want_crc:
+            return None
+        try:
+            doc = json.loads(body)
+            lsn, op = doc["lsn"], doc["op"]
+            records = tuple(tuple(r) for r in doc["records"])
+        except (json.JSONDecodeError, KeyError, TypeError):
+            return None
+        if op not in _OPS or not isinstance(lsn, int):
+            return None
+        return WalRecord(lsn=lsn, op=op, records=records)
+
+    # -- truncation --------------------------------------------------------
+
+    def truncate(self) -> None:
+        """Drop all records after a successful checkpoint (atomically).
+
+        The sequence does *not* restart: the new header carries the last
+        assigned lsn as its base, so appends keep counting and any
+        snapshot stamped before the truncation stays comparable.
+        """
+        base = self._next_lsn - 1
+        tmp_path = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "w") as fp:
+                fp.write(self._header_line(base))
+                fp.flush()
+                os.fsync(fp.fileno())
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.base_lsn = base
+
+    @property
+    def last_lsn(self) -> int:
+        """The most recently assigned sequence number (0 for a new log)."""
+        return self._next_lsn - 1
+
+    @staticmethod
+    def _header_line(base: int) -> str:
+        return f"{_MAGIC} base={base}\n"
+
+    def _write_header(self, base: int) -> None:
+        with open(self.path, "w") as fp:
+            fp.write(self._header_line(base))
+            fp.flush()
+            os.fsync(fp.fileno())
+
+    def __repr__(self):
+        return f"WriteAheadLog({self.path!r}, next_lsn={self._next_lsn})"

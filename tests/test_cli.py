@@ -74,11 +74,64 @@ class TestCommands:
 
     def test_missing_file_is_error_not_traceback(self, tmp_path, capsys):
         code = main(["stats", str(tmp_path / "nope.qct")])
-        assert code == 2
+        assert code == 1
         assert "error:" in capsys.readouterr().err
 
     def test_corrupt_tree_is_error(self, tmp_path, capsys):
         bad = tmp_path / "bad.qct"
         bad.write_text("garbage\n{}")
-        assert main(["stats", str(bad)]) == 2
+        assert main(["stats", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert str(bad) in err  # the failing path is named
+
+    def test_empty_tree_file_is_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.qct"
+        empty.write_text("")
+        assert main(["stats", str(empty)]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestFsckCommand:
+    def test_clean_tree_exits_zero(self, built_tree, sales_csv, capsys):
+        assert main(["fsck", built_tree, "--table", sales_csv]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_clean_tree_without_table(self, built_tree, capsys):
+        assert main(["fsck", built_tree]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_corrupted_node_table_exits_two(self, built_tree, capsys):
+        import json
+        import zlib
+
+        with open(built_tree) as fp:
+            text = fp.read()
+        _, payload = text.split("\n", 1)
+        doc = json.loads(payload)
+        # Point a drill-down link at a node labeled with something else:
+        # the file still loads, but the tree violates Definition 1.
+        doc["links"][0][3] = 0
+        new_payload = json.dumps(doc)
+        crc = zlib.crc32(new_payload.encode()) & 0xFFFFFFFF
+        header = (f"QCTREE/2 crc32={crc:08x} nodes={len(doc['nodes'])} "
+                  f"links={len(doc['links'])}")
+        with open(built_tree, "w") as fp:
+            fp.write(header + "\n" + new_payload)
+        assert main(["fsck", built_tree]) == 2
+        assert "issue" in capsys.readouterr().out
+
+    def test_unreadable_tree_exits_one(self, tmp_path):
+        bad = tmp_path / "bad.qct"
+        bad.write_text("garbage")
+        assert main(["fsck", str(bad)]) == 1

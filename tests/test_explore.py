@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.cells import ALL
 from repro.core.construct import build_qctree
 from repro.core.explore import (
     class_of,

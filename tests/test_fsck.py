@@ -1,0 +1,208 @@
+"""Tests for the QC-tree fsck and warehouse degraded mode."""
+
+import pytest
+
+from repro.core.construct import build_qctree
+from repro.core.warehouse import QCWarehouse
+from repro.cube.schema import Schema
+from repro.reliability.fsck import fsck_tree, scan_point_query
+from tests.conftest import all_cells, approx_equal, make_random_table
+
+
+def codes(report):
+    return {issue.code for issue in report.issues}
+
+
+class TestCleanTrees:
+    def test_sales_tree_is_clean(self, sales_table):
+        tree = build_qctree(sales_table, ("avg", "Sale"))
+        report = fsck_tree(tree, table=sales_table, samples=None)
+        assert report.ok, str(report)
+        assert report.checked["nodes"] == tree.n_nodes
+        assert report.checked["classes"] == tree.n_classes
+        assert "clean" in report.summary()
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_trees_are_clean(self, seed):
+        table = make_random_table(seed, n_dims=3, cardinality=4, n_rows=20)
+        tree = build_qctree(table, ("sum", "m"))
+        report = fsck_tree(tree, table=table, samples=None)
+        assert report.ok, str(report)
+
+    def test_shallow_check_skips_aggregates(self, sales_table):
+        tree = build_qctree(sales_table, "count")
+        report = fsck_tree(tree)  # no table
+        assert report.ok
+        assert "aggregates" not in report.checked
+
+    def test_maintained_tree_stays_clean(self, sales_table):
+        wh = QCWarehouse(sales_table, aggregate=("avg", "Sale"))
+        wh.insert([("S3", "P1", "w", 5.0)])
+        wh.delete([("S1", "P2", "s", 0.0)])
+        report = wh.verify(samples=None)
+        assert report.ok, str(report)
+        assert not wh.degraded
+
+
+class TestCorruptionIsFlagged:
+    """Each deliberate corruption must surface as at least the named code
+    — never pass silently, never crash the verifier."""
+
+    def _tree(self, sales_table, aggregate=("avg", "Sale")):
+        return build_qctree(sales_table, aggregate)
+
+    def test_dead_link_target(self, sales_table):
+        tree = self._tree(sales_table)
+        src = next(s for s in range(len(tree.node_dim)) if tree.links[s])
+        dim = next(iter(tree.links[src]))
+        value = next(iter(tree.links[src][dim]))
+        tree.links[src][dim][value] = len(tree.node_dim) + 5
+        report = fsck_tree(tree)
+        assert "link-dead-target" in codes(report)
+
+    def test_link_label_mismatch(self, sales_table):
+        tree = self._tree(sales_table)
+        src = next(s for s in range(len(tree.node_dim)) if tree.links[s])
+        dim = next(iter(tree.links[src]))
+        value = next(iter(tree.links[src][dim]))
+        tree.links[src][dim][value] = tree.root
+        report = fsck_tree(tree)
+        assert "link-label-mismatch" in codes(report)
+
+    def test_dim_order_violation(self, sales_table):
+        tree = self._tree(sales_table)
+        # Re-hang one dim-0 child of the root under its dim-0 sibling:
+        # the moved node's dimension no longer increases past its new
+        # parent's, and nothing becomes unreachable.
+        first, second = [
+            n for n in range(len(tree.node_dim))
+            if tree.parent[n] == tree.root and tree.node_dim[n] == 0
+        ][:2]
+        dim, value = tree.node_dim[second], tree.node_value[second]
+        del tree.children[tree.root][dim][value]
+        tree.children[first].setdefault(dim, {})[value] = second
+        tree.parent[second] = first
+        report = fsck_tree(tree)
+        assert "structure-dim-order" in codes(report)
+
+    def test_parent_mismatch(self, sales_table):
+        tree = self._tree(sales_table)
+        child = next(
+            n for n in range(len(tree.node_dim)) if tree.parent[n] == tree.root
+        )
+        tree.parent[child] = child  # lies about its parent
+        report = fsck_tree(tree)
+        assert "structure-parent-mismatch" in codes(report)
+
+    def test_cycle_short_circuits(self, sales_table):
+        tree = self._tree(sales_table)
+        # A node whose child map contains itself: the walk must flag the
+        # revisit instead of descending forever.
+        leaf = max(range(len(tree.node_dim)), key=lambda n: tree.node_dim[n])
+        tree.children[leaf].setdefault(tree.n_dims - 1, {})["loop"] = leaf
+        report = fsck_tree(tree, table=sales_table)
+        assert "structure-cycle" in codes(report)
+        # Deeper passes are skipped: routing over broken structure may
+        # not halt.
+        assert "classes" not in report.checked
+
+    def test_tampered_aggregate_state(self, sales_table):
+        tree = self._tree(sales_table)
+        victim = next(
+            n for n in range(len(tree.node_dim))
+            if tree.state[n] is not None and n != tree.root
+        )
+        tree.set_state(victim, (9999.0, 1))
+        report = fsck_tree(tree, table=sales_table, samples=None)
+        assert "aggregate-mismatch" in codes(report)
+        # Without the base table the tampering is invisible — deep
+        # verification exists precisely for this class of corruption.
+        assert "aggregate-mismatch" not in codes(fsck_tree(tree))
+
+    def test_unreachable_class(self, sales_table):
+        tree = self._tree(sales_table)
+        # Orphan a class node by unhooking it from its parent's child map
+        # (and any links pointing at it).
+        victim = next(
+            n for n in range(len(tree.node_dim))
+            if tree.state[n] is not None and tree.parent[n] != -1
+            and not tree.children[n]
+        )
+        dim, value = tree.node_dim[victim], tree.node_value[victim]
+        del tree.children[tree.parent[victim]][dim][value]
+        report = fsck_tree(tree)
+        assert "structure-orphaned" in codes(report)
+
+    def test_fsck_never_raises_on_garbage(self, sales_table):
+        tree = self._tree(sales_table)
+        tree.node_dim[tree.root] = "garbage"
+        tree.children[tree.root] = {"x": None}
+        report = fsck_tree(tree, table=sales_table)
+        assert not report.ok  # found *something*, and did not raise
+
+
+class TestScanPointQuery:
+    def test_scan_matches_tree(self, sales_table):
+        tree = build_qctree(sales_table, ("avg", "Sale"))
+        from repro.core.point_query import point_query
+
+        for cell in all_cells(sales_table):
+            assert approx_equal(
+                scan_point_query(sales_table, tree.aggregate, cell),
+                point_query(tree, cell),
+            )
+
+    def test_scan_empty_cover_is_none(self, sales_table):
+        agg = build_qctree(sales_table, "count").aggregate
+        miss = (0, 0, 0)  # S1, P1, f — not a real combination
+        assert scan_point_query(sales_table, agg, miss) is None
+
+
+class TestDegradedMode:
+    SCHEMA = Schema(dimensions=("Store", "Product", "Season"),
+                    measures=("Sale",))
+    RECORDS = [
+        ("S1", "P1", "s", 6.0),
+        ("S1", "P2", "s", 12.0),
+        ("S2", "P1", "f", 9.0),
+    ]
+
+    def corrupt(self, wh):
+        victim = next(
+            n for n in range(len(wh.tree.node_dim))
+            if wh.tree.state[n] is not None and n != wh.tree.root
+        )
+        wh.tree.set_state(victim, (123456.0, 1))
+
+    def test_verify_flips_degraded_and_scan_answers(self):
+        wh = QCWarehouse.from_records(self.RECORDS, self.SCHEMA,
+                                      aggregate=("avg", "Sale"))
+        fresh = QCWarehouse.from_records(self.RECORDS, self.SCHEMA,
+                                         aggregate=("avg", "Sale"))
+        self.corrupt(wh)
+        report = wh.verify(samples=None)
+        assert not report.ok
+        assert wh.degraded
+        assert wh.stats()["degraded"] is True
+        assert "degraded" in repr(wh)
+        # Degraded answers come from the base table and are still right.
+        for cell in all_cells(wh.table):
+            raw = wh.table.decode_cell(cell)
+            assert approx_equal(wh.point(raw), fresh.point(raw))
+        assert wh.point(("S9", "*", "*")) is None  # unknown label: NULL
+
+    def test_rebuild_recovers(self):
+        wh = QCWarehouse.from_records(self.RECORDS, self.SCHEMA,
+                                      aggregate=("avg", "Sale"))
+        self.corrupt(wh)
+        assert not wh.verify(samples=None).ok
+        wh.rebuild()
+        assert not wh.degraded
+        assert wh.verify(samples=None).ok
+        assert approx_equal(wh.point(("S2", "*", "f")), 9.0)
+
+    def test_clean_verify_clears_degraded(self):
+        wh = QCWarehouse.from_records(self.RECORDS, self.SCHEMA)
+        wh._degraded = True
+        assert wh.verify().ok
+        assert not wh.degraded

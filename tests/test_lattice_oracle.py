@@ -7,7 +7,7 @@ complete, convexity holds, and Lemma 1's guarantees are observable.
 
 import pytest
 
-from repro.core.cells import ALL, generalizations, generalizes
+from repro.core.cells import generalizes
 from repro.cube.lattice import (
     cell_aggregate,
     closed_cells,

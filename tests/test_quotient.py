@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.cells import ALL, generalizes
+from repro.core.cells import ALL
 from repro.cube.lattice import (
     full_cube,
     is_convex_partition,

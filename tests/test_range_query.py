@@ -63,7 +63,6 @@ class TestAgainstNaivePlan:
         table = make_random_table(seed)
         tree = build_qctree(table, ("sum", "m"))
         rng = random.Random(seed)
-        card = table.cardinality(0)
         for _ in range(5):
             spec = []
             for j in range(table.n_dims):

@@ -1,6 +1,5 @@
 """Tests for QC-tree persistence, including corruption handling."""
 
-import io
 import json
 
 import pytest

@@ -1,0 +1,277 @@
+"""Tests for the QCTREE/2 snapshot format: checksums, atomicity, offsets,
+the load_qctree_from error contract, and v1 backward compatibility."""
+
+import json
+import os
+import random
+import zlib
+
+import pytest
+
+from repro.core.construct import build_qctree
+from repro.core.point_query import point_query
+from repro.core.serialize import (
+    dumps_qctree,
+    load_qctree_from,
+    loads_qctree,
+    save_qctree,
+)
+from repro.cube.schema import Schema
+from repro.cube.table import BaseTable
+from repro.errors import SerializationError
+from repro.reliability.faults import InjectedCrash, count_io, crash_on_io
+from tests.conftest import all_cells, approx_equal, make_random_table
+
+# The exact QCTREE/1 bytes the pre-checksum code wrote for the paper's
+# Figure 1 table under avg(Sale) — pinned so old snapshots keep loading.
+V1_FIXTURE = (
+    'QCTREE/1\n{"n_dims": 3, "dim_names": ["Store", "Product", "Season"], '
+    '"aggregate": "avg(Sale)", "nodes": [[-1, null, -1, [27.0, 3]], '
+    '[0, 0, 0, null], [1, 0, 1, null], [2, 1, 2, [6.0, 1]], '
+    '[1, 1, 1, null], [2, 1, 4, [12.0, 1]], [2, 1, 1, [18.0, 2]], '
+    '[0, 1, 0, null], [1, 0, 7, null], [2, 0, 8, [9.0, 1]], '
+    '[1, 0, 0, [15.0, 2]]], "links": [[0, 2, 1, 6], [0, 2, 0, 9], '
+    '[0, 1, 1, 4], [10, 2, 1, 3], [10, 2, 0, 9]]}'
+)
+
+
+def rewrap_v2(text: str, mutate):
+    """Apply ``mutate`` to the decoded document and re-sign the payload."""
+    _, payload = text.split("\n", 1)
+    doc = json.loads(payload)
+    mutate(doc)
+    new_payload = json.dumps(doc)
+    crc = zlib.crc32(new_payload.encode("utf-8")) & 0xFFFFFFFF
+    header = (f"QCTREE/2 crc32={crc:08x} nodes={len(doc['nodes'])} "
+              f"links={len(doc['links'])}")
+    return header + "\n" + new_payload
+
+
+class TestFormatV2:
+    def test_header_carries_crc_and_counts(self, sales_table):
+        tree = build_qctree(sales_table, ("avg", "Sale"))
+        text = dumps_qctree(tree)
+        header, payload = text.split("\n", 1)
+        assert header.startswith("QCTREE/2 crc32=")
+        crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+        assert f"crc32={crc:08x}" in header
+        assert f"nodes={tree.n_nodes}" in header
+        assert f"links={tree.n_links}" in header
+
+    def test_single_character_corruption_detected(self, sales_table):
+        text = dumps_qctree(build_qctree(sales_table, ("avg", "Sale")))
+        header_end = text.index("\n") + 1
+        # Flip one payload digit: 6.0 -> 7.0 style silent corruption.
+        pos = text.index("27.0")
+        mutated = text[:pos] + "47.0" + text[pos + 4:]
+        assert mutated != text and len(mutated) == len(text)
+        with pytest.raises(SerializationError, match="checksum mismatch"):
+            loads_qctree(mutated)
+        # The message names the payload byte range.
+        with pytest.raises(SerializationError, match=str(header_end)):
+            loads_qctree(mutated)
+
+    def test_truncation_detected(self, sales_table):
+        text = dumps_qctree(build_qctree(sales_table, "count"))
+        for cut in (len(text) // 2, len(text) - 1):
+            with pytest.raises(SerializationError):
+                loads_qctree(text[:cut])
+
+    def test_missing_payload_reports_offset(self, sales_table):
+        text = dumps_qctree(build_qctree(sales_table, "count"))
+        header = text.split("\n", 1)[0]
+        with pytest.raises(SerializationError, match="offset"):
+            loads_qctree(header + "\n")
+
+    def test_count_mismatch_detected(self, sales_table):
+        text = dumps_qctree(build_qctree(sales_table, "count"))
+        header, payload = text.split("\n", 1)
+        lied = header.replace("nodes=", "nodes=9", 1)
+        with pytest.raises(SerializationError, match="count mismatch"):
+            loads_qctree(lied + "\n" + payload)
+
+    def test_malformed_header_rejected(self, sales_table):
+        text = dumps_qctree(build_qctree(sales_table, "count"))
+        _, payload = text.split("\n", 1)
+        with pytest.raises(SerializationError, match="header"):
+            loads_qctree("QCTREE/2 crc32=zz nodes=1\n" + payload)
+
+    def test_consistent_resigned_corruption_caught_by_loader(self, sales_table):
+        # A forged checksum over a broken document must still fail.
+        text = dumps_qctree(build_qctree(sales_table, "count"))
+        broken = rewrap_v2(text, lambda doc: doc["nodes"].__setitem__(
+            0, [0, 3, -1, None]))
+        with pytest.raises(SerializationError, match="root"):
+            loads_qctree(broken)
+
+
+class TestLoadFromPathContract:
+    """load_qctree_from must raise SerializationError naming the path —
+    never leak JSONDecodeError / KeyError / UnicodeDecodeError."""
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.qct"
+        path.write_text("")
+        with pytest.raises(SerializationError, match="empty.qct"):
+            load_qctree_from(path)
+
+    def test_truncated_file(self, tmp_path, sales_table):
+        text = dumps_qctree(build_qctree(sales_table, "count"))
+        path = tmp_path / "torn.qct"
+        path.write_text(text[: len(text) // 3])
+        with pytest.raises(SerializationError, match="torn.qct"):
+            load_qctree_from(path)
+
+    def test_non_json_file(self, tmp_path):
+        path = tmp_path / "notjson.qct"
+        path.write_text("QCTREE/1\n{this is not json")
+        with pytest.raises(SerializationError, match="notjson.qct"):
+            load_qctree_from(path)
+
+    def test_binary_garbage(self, tmp_path):
+        path = tmp_path / "binary.qct"
+        path.write_bytes(b"\x00\xff\xfe\x01QCTREE\x80\x81")
+        with pytest.raises(SerializationError, match="binary.qct"):
+            load_qctree_from(path)
+
+    def test_missing_keys_named_path(self, tmp_path):
+        path = tmp_path / "keys.qct"
+        path.write_text("QCTREE/1\n" + json.dumps({"n_dims": 2}))
+        with pytest.raises(SerializationError, match="keys.qct"):
+            load_qctree_from(path)
+
+    def test_missing_file_is_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_qctree_from(tmp_path / "nope.qct")
+
+
+class TestV1BackwardCompatibility:
+    def test_pinned_v1_fixture_loads(self, sales_table):
+        tree = loads_qctree(V1_FIXTURE)
+        assert tree.dim_names == ("Store", "Product", "Season")
+        assert tree.aggregate.name == "avg(Sale)"
+        fresh = build_qctree(sales_table, ("avg", "Sale"))
+        assert tree.equivalent_to(fresh)
+
+    def test_pinned_v1_fixture_answers_queries(self, sales_table):
+        tree = loads_qctree(V1_FIXTURE)
+        fresh = build_qctree(sales_table, ("avg", "Sale"))
+        for cell in all_cells(sales_table):
+            assert approx_equal(point_query(tree, cell),
+                                point_query(fresh, cell))
+
+    def test_v1_file_loads_from_disk(self, tmp_path):
+        path = tmp_path / "legacy.qct"
+        path.write_text(V1_FIXTURE)
+        tree = load_qctree_from(path)
+        assert tree.n_classes == 6
+
+    def test_resaving_v1_produces_v2(self, tmp_path):
+        path = tmp_path / "legacy.qct"
+        path.write_text(V1_FIXTURE)
+        tree = load_qctree_from(path)
+        save_qctree(tree, path)
+        assert path.read_text().startswith("QCTREE/2 ")
+        assert load_qctree_from(path).equivalent_to(tree)
+
+
+class TestAtomicSave:
+    def test_successful_save_is_loadable(self, tmp_path, sales_table):
+        tree = build_qctree(sales_table, ("avg", "Sale"))
+        path = tmp_path / "tree.qct"
+        save_qctree(tree, path)
+        assert load_qctree_from(path).equivalent_to(tree)
+        leftovers = [p for p in os.listdir(tmp_path) if ".tmp." in p]
+        assert leftovers == []
+
+    def test_crash_at_every_io_step_preserves_old_snapshot(
+            self, tmp_path, sales_table):
+        old_tree = build_qctree(sales_table, "count")
+        path = str(tmp_path / "tree.qct")
+        save_qctree(old_tree, path)
+        old_bytes = open(path, "rb").read()
+        new_tree = build_qctree(sales_table, ("sum", "Sale"))
+
+        total_ops = count_io(lambda: save_qctree(new_tree, path))
+        assert total_ops >= 4  # open, write, flush/fsync, close, replace
+        for fail_after in range(total_ops):
+            # Reset to the old snapshot state before each injected crash.
+            with open(path, "wb") as fp:
+                fp.write(old_bytes)
+            with crash_on_io(fail_after) as clock:
+                with pytest.raises(InjectedCrash):
+                    save_qctree(new_tree, path)
+            on_disk = open(path, "rb").read()
+            committed = any(
+                label.startswith("replace:") for label in clock.trace
+            )
+            if committed:
+                assert load_qctree_from(path).equivalent_to(new_tree)
+            else:
+                assert on_disk == old_bytes
+                assert load_qctree_from(path).equivalent_to(old_tree)
+
+    def test_crash_on_first_save_leaves_no_file(self, tmp_path, sales_table):
+        tree = build_qctree(sales_table, "count")
+        path = str(tmp_path / "fresh.qct")
+        with crash_on_io(1):
+            with pytest.raises(InjectedCrash):
+                save_qctree(tree, path)
+        assert not os.path.exists(path)
+
+
+AGGREGATE_SPECS = [
+    "count",
+    ("sum", "m"),
+    ("min", "m"),
+    ("max", "m"),
+    ("avg", "m"),
+    [("sum", "m"), "count"],
+    [("avg", "m"), ("max", "m"), "count"],
+]
+
+
+class TestRoundTripProperty:
+    """Round-trip over randomly generated trees: random dimensionality,
+    cardinality, row counts, and every registry aggregate shape."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_tree_roundtrip(self, seed):
+        rng = random.Random(seed * 7919)
+        table = make_random_table(
+            seed,
+            n_dims=rng.randint(1, 5),
+            cardinality=rng.randint(1, 6),
+            n_rows=rng.randint(1, 25),
+        )
+        spec = rng.choice(AGGREGATE_SPECS)
+        tree = build_qctree(table, spec)
+        clone = loads_qctree(dumps_qctree(tree))
+        assert clone.signature() == tree.signature()
+        assert clone.aggregate.name == tree.aggregate.name
+        assert clone.dim_names == tree.dim_names
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_tree_queries_survive(self, seed, tmp_path):
+        rng = random.Random(seed + 424242)
+        table = make_random_table(seed, n_dims=rng.randint(1, 3),
+                                  cardinality=rng.randint(1, 4),
+                                  n_rows=rng.randint(1, 15))
+        spec = rng.choice(AGGREGATE_SPECS)
+        tree = build_qctree(table, spec)
+        path = tmp_path / f"tree-{seed}.qct"
+        save_qctree(tree, path)
+        clone = load_qctree_from(path)
+        for cell in all_cells(table):
+            assert approx_equal(point_query(tree, cell),
+                                point_query(clone, cell))
+
+    def test_string_labels_roundtrip(self):
+        schema = Schema(dimensions=("City", "Kind"), measures=("v",))
+        table = BaseTable.from_records(
+            [("Oslo", "a", 1.0), ("Bergen", "b", 2.0), ("Oslo", "b", 3.0)],
+            schema,
+        )
+        tree = build_qctree(table, ("sum", "v"))
+        clone = loads_qctree(dumps_qctree(tree))
+        assert clone.equivalent_to(tree)

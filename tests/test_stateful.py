@@ -7,7 +7,6 @@ from-scratch rebuild (Theorem 2, both directions, under arbitrary
 histories), and point queries must match the brute-force oracle.
 """
 
-import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (

@@ -1,0 +1,215 @@
+"""Transactional maintenance: failed batches leave no trace.
+
+``apply_insertions`` / ``apply_deletions`` must either complete or leave
+the tree (and the caller's table) observably unchanged — same point-query
+answers, same structure, invariants intact — raising
+:class:`MaintenanceError` for anything that is not a repro error already.
+"""
+
+import pytest
+
+from repro.core.construct import build_qctree
+from repro.core.maintenance.delete import apply_deletions
+from repro.core.maintenance.insert import apply_insertions
+from repro.core.point_query import point_query
+from repro.core.qctree import QCTree
+from repro.core.warehouse import QCWarehouse
+from repro.cube.schema import Schema
+from repro.errors import MaintenanceError
+from tests.conftest import all_cells, approx_equal
+
+
+SCHEMA = Schema(dimensions=("Store", "Product", "Season"),
+                measures=("Sale",))
+RECORDS = [
+    ("S1", "P1", "s", 6.0),
+    ("S1", "P2", "s", 12.0),
+    ("S2", "P1", "f", 9.0),
+]
+
+
+def snapshot_answers(tree, table):
+    return {cell: point_query(tree, cell) for cell in all_cells(table)}
+
+
+def assert_unchanged(tree, table, before):
+    tree.check_invariants()
+    after = snapshot_answers(tree, table)
+    assert before.keys() == after.keys()
+    for cell in before:
+        assert approx_equal(before[cell], after[cell]), cell
+
+
+@pytest.fixture
+def wh():
+    return QCWarehouse.from_records(RECORDS, SCHEMA, aggregate=("avg", "Sale"))
+
+
+class TestRefusedBatches:
+    """Batches rejected by validation: the error fires before (or rolls
+    back) any mutation."""
+
+    def test_delete_absent_tuple(self, wh):
+        before = snapshot_answers(wh.tree, wh.table)
+        signature = wh.tree.signature()
+        with pytest.raises(MaintenanceError, match="not present"):
+            wh.delete([("S1", "P1", "f", 0.0)])  # labels exist, row doesn't
+        assert wh.tree.signature() == signature
+        assert wh.table.n_rows == 3
+        assert_unchanged(wh.tree, wh.table, before)
+
+    def test_delete_unknown_label(self, wh):
+        before = snapshot_answers(wh.tree, wh.table)
+        with pytest.raises(MaintenanceError, match="cannot delete"):
+            wh.delete([("S9", "P1", "s", 0.0)])
+        assert_unchanged(wh.tree, wh.table, before)
+
+    def test_delete_partial_batch_rolls_back_entirely(self, wh):
+        # First record is deletable, second is not: neither may apply.
+        before = snapshot_answers(wh.tree, wh.table)
+        with pytest.raises(MaintenanceError):
+            wh.delete([("S1", "P1", "s", 0.0), ("S2", "P2", "w", 0.0)])
+        assert wh.table.n_rows == 3
+        assert_unchanged(wh.tree, wh.table, before)
+
+    def test_insert_bad_arity(self, wh):
+        before = snapshot_answers(wh.tree, wh.table)
+        with pytest.raises(MaintenanceError, match="cannot insert"):
+            wh.insert([("S3", "P1", 5.0)])  # missing a dimension
+        assert wh.table.n_rows == 3
+        assert_unchanged(wh.tree, wh.table, before)
+
+    def test_queries_keep_working_after_refusal(self, wh):
+        with pytest.raises(MaintenanceError):
+            wh.delete([("S1", "P1", "f", 0.0)])
+        assert approx_equal(wh.point(("S2", "*", "f")), 9.0)
+        assert wh.range((["S1", "S2"], "*", "*"))
+        # And the warehouse still verifies clean.
+        assert wh.verify(samples=None).ok
+
+
+class _FailAfter:
+    """Wrap a method so its (n+1)-th call raises RuntimeError."""
+
+    def __init__(self, method, n):
+        self.method = method
+        self.remaining = n
+
+    def __call__(self, *args, **kwargs):
+        if self.remaining == 0:
+            raise RuntimeError("injected mid-mutation failure")
+        self.remaining -= 1
+        return self.method(*args, **kwargs)
+
+
+def count_calls(method_name, operation, tree):
+    calls = 0
+    original = getattr(QCTree, method_name)
+
+    def counting(self, *args, **kwargs):
+        nonlocal calls
+        calls += 1
+        return original(self, *args, **kwargs)
+
+    setattr(QCTree, method_name, counting)
+    try:
+        operation(tree)
+    finally:
+        setattr(QCTree, method_name, original)
+    return calls
+
+
+class TestMidMutationFailure:
+    """A failure inside the batch algorithms (simulated via a tree
+    primitive that starts raising) must roll back to the exact prior
+    state — at every possible failure point."""
+
+    def _sweep(self, make_tree, table_of, operation, method_name="set_state"):
+        total = count_calls(method_name, operation, make_tree())
+        assert total > 0
+        original = getattr(QCTree, method_name)
+        for n in range(total):
+            tree = make_tree()
+            before = snapshot_answers(tree, table_of(tree))
+            signature = tree.signature()
+            setattr(QCTree, method_name,
+                    _FailAfter(lambda *a, **k: original(*a, **k), n))
+            try:
+                with pytest.raises(MaintenanceError,
+                                   match="rolled back"):
+                    operation(tree)
+            finally:
+                setattr(QCTree, method_name, original)
+            assert tree.signature() == signature, f"failure point {n}"
+            assert_unchanged(tree, table_of(tree), before)
+
+    def test_insert_rolls_back_at_every_failure_point(self, sales_table):
+        new_records = [("S3", "P1", "w", 2.0), ("S2", "P2", "f", 4.0)]
+
+        def make_tree():
+            return build_qctree(sales_table, ("avg", "Sale"))
+
+        self._sweep(
+            make_tree,
+            lambda tree: sales_table,
+            lambda tree: apply_insertions(tree, sales_table, new_records),
+        )
+
+    def test_delete_rolls_back_at_every_failure_point(self, sales_table):
+        def make_tree():
+            return build_qctree(sales_table, ("avg", "Sale"))
+
+        self._sweep(
+            make_tree,
+            lambda tree: sales_table,
+            lambda tree: apply_deletions(
+                tree, sales_table, [("S1", "P2", "s", 0.0)]
+            ),
+        )
+
+    def test_failure_is_wrapped_with_cause(self, sales_table):
+        tree = build_qctree(sales_table, "count")
+        original = QCTree.set_state
+        QCTree.set_state = _FailAfter(
+            lambda *a, **k: original(*a, **k), 0
+        )
+        try:
+            with pytest.raises(MaintenanceError) as exc_info:
+                apply_insertions(tree, sales_table, [("S3", "P3", "w", 1.0)])
+        finally:
+            QCTree.set_state = original
+        assert isinstance(exc_info.value.__cause__, RuntimeError)
+
+
+class TestNonSubtractableAggregate:
+    """MIN/MAX deletion recomputes states from the base table; a failure
+    in that recomputation must roll back like any other."""
+
+    def test_min_delete_succeeds_normally(self, sales_table):
+        tree = build_qctree(sales_table, ("min", "Sale"))
+        assert not tree.aggregate.subtractable
+        new_table = apply_deletions(tree, sales_table,
+                                    [("S1", "P2", "s", 0.0)])
+        assert tree.equivalent_to(build_qctree(new_table, ("min", "Sale")))
+
+    def test_failing_recompute_rolls_back(self, sales_table):
+        tree = build_qctree(sales_table, ("min", "Sale"))
+        before = snapshot_answers(tree, sales_table)
+        signature = tree.signature()
+        agg = tree.aggregate
+        original_state = agg.state
+        calls = {"n": 0}
+
+        def flaky_state(table, rows):
+            calls["n"] += 1
+            raise RuntimeError("aggregate backend failure")
+
+        agg.state = flaky_state
+        try:
+            with pytest.raises(MaintenanceError, match="rolled back"):
+                apply_deletions(tree, sales_table, [("S1", "P2", "s", 0.0)])
+        finally:
+            agg.state = original_state
+        assert calls["n"] > 0  # the failure really came from the aggregate
+        assert tree.signature() == signature
+        assert_unchanged(tree, sales_table, before)

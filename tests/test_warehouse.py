@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.construct import build_qctree
 from repro.core.warehouse import QCWarehouse
-from repro.cube.schema import Schema
 from repro.errors import MaintenanceError, SchemaError
 
 
