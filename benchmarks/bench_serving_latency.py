@@ -1,0 +1,182 @@
+"""Serving latency — frozen read-optimized QC-tree vs the mutable tree.
+
+Not a paper figure: this benchmark tracks the repo's own serving
+trajectory.  At Figure-13 scale (the paper's synthetic Zipf setup) it
+measures, for the same workloads on both representations:
+
+* build time of the dict-backed tree and compile time of ``freeze()``;
+* per-query p50 latency for 1,000 point queries and 100 range queries;
+* mean node accesses per point query (identical by construction — the
+  frozen view changes the constant factor, not the walk);
+* warehouse query-cache hit rate on a repeated workload.
+
+Results go to ``BENCH_serving.json`` at the repo root (committed, so the
+trajectory is diffable PR over PR) and a table under
+``benchmarks/results/``.  ``--quick`` (or ``REPRO_BENCH_QUICK=1``) runs a
+scaled-down configuration for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import time
+
+from common import print_table, synth
+from repro.core.construct import build_qctree
+from repro.core.point_query import locate, point_query
+from repro.core.range_query import range_query
+from repro.core.warehouse import QCWarehouse
+from repro.data.workloads import point_query_workload, range_query_workload
+
+OUT_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_serving.json"
+)
+
+FULL = dict(n_rows=4000, n_dims=5, card=20,
+            n_point=1000, n_range=100, repeats=5)
+QUICK = dict(n_rows=800, n_dims=5, card=20,
+             n_point=200, n_range=20, repeats=2)
+
+
+def _quick_from_env() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def _median_run_seconds(fn, repeats):
+    """Median wall time of ``fn()`` over ``repeats`` runs (one untimed
+    warm-up first, so bytecode specialization and cache effects don't
+    penalize whichever representation happens to run first)."""
+    fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def measure(config) -> dict:
+    table = synth(n_rows=config["n_rows"], n_dims=config["n_dims"],
+                  card=config["card"])
+
+    build_start = time.perf_counter()
+    tree = build_qctree(table, "count")
+    build_s = time.perf_counter() - build_start
+    freeze_start = time.perf_counter()
+    frozen = tree.freeze()
+    freeze_s = time.perf_counter() - freeze_start
+
+    points = point_query_workload(table, config["n_point"], seed=7)
+    ranges = range_query_workload(table, config["n_range"], seed=7)
+    repeats = config["repeats"]
+
+    def run_points(t):
+        return lambda: [point_query(t, q) for q in points]
+
+    def run_ranges(t):
+        return lambda: [range_query(t, spec) for spec in ranges]
+
+    point_dict_s = _median_run_seconds(run_points(tree), repeats)
+    point_frozen_s = _median_run_seconds(run_points(frozen), repeats)
+    range_dict_s = _median_run_seconds(run_ranges(tree), repeats)
+    range_frozen_s = _median_run_seconds(run_ranges(frozen), repeats)
+
+    # Node accesses are a property of the walk, not the representation:
+    # both counters must agree, and the per-query mean reproduces the
+    # paper's access-count comparison under the uniform counting
+    # convention (every occupied node counted once, root included).
+    counter_dict, counter_frozen = [0], [0]
+    for q in points:
+        locate(tree, q, counter=counter_dict)
+        locate(frozen, q, counter=counter_frozen)
+    assert counter_dict[0] == counter_frozen[0], (
+        counter_dict[0], counter_frozen[0]
+    )
+    mean_accesses = counter_dict[0] / len(points)
+
+    # Cache hit rate: the same workload served twice through the
+    # warehouse; the second pass should be answered from the cache.
+    wh = QCWarehouse(table, aggregate="count", tree=tree,
+                     cache_size=2 * len(points))
+    raw_points = [table.decode_cell(q) for q in points]
+    for cell in raw_points:
+        wh.point(cell)
+    for cell in raw_points:
+        wh.point(cell)
+    cache_stats = wh.stats()["query_cache"]
+
+    n_point, n_range = len(points), len(ranges)
+    return {
+        "config": dict(config),
+        "build_s": round(build_s, 6),
+        "freeze_s": round(freeze_s, 6),
+        "point": {
+            "dict_p50_us": round(1e6 * point_dict_s / n_point, 3),
+            "frozen_p50_us": round(1e6 * point_frozen_s / n_point, 3),
+            "speedup": round(point_dict_s / point_frozen_s, 3),
+            "mean_node_accesses": round(mean_accesses, 3),
+        },
+        "range": {
+            "dict_p50_us": round(1e6 * range_dict_s / n_range, 3),
+            "frozen_p50_us": round(1e6 * range_frozen_s / n_range, 3),
+            "speedup": round(range_dict_s / range_frozen_s, 3),
+        },
+        "cache": {
+            "hit_rate": round(cache_stats["hit_rate"], 4),
+            "hits": cache_stats["hits"],
+            "misses": cache_stats["misses"],
+        },
+    }
+
+
+def report(results, out_path=OUT_PATH) -> None:
+    with open(out_path, "w") as fp:
+        json.dump(results, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    point, rng = results["point"], results["range"]
+    print_table(
+        "Serving latency: frozen vs dict QC-tree",
+        ["metric", "dict", "frozen", "speedup"],
+        [
+            ["point p50 (us)", point["dict_p50_us"],
+             point["frozen_p50_us"], point["speedup"]],
+            ["range p50 (us)", rng["dict_p50_us"],
+             rng["frozen_p50_us"], rng["speedup"]],
+            ["build/freeze (s)", results["build_s"],
+             results["freeze_s"], ""],
+            ["mean accesses/query", point["mean_node_accesses"],
+             point["mean_node_accesses"], ""],
+            ["cache hit rate", "", results["cache"]["hit_rate"], ""],
+        ],
+        result_file="serving_latency.txt",
+    )
+
+
+def test_serving_report(benchmark):
+    config = QUICK if _quick_from_env() else FULL
+    results = benchmark.pedantic(measure, args=(config,),
+                                 rounds=1, iterations=1)
+    report(results)
+    # The frozen view must not lose to the representation it compiles
+    # from; the committed full-scale run shows the real (>=2x) margin.
+    assert results["point"]["speedup"] > 1.0
+    assert results["range"]["speedup"] > 0.8
+    # Identical repeated workload with a big-enough cache: second pass
+    # all hits, first pass all misses.
+    assert results["cache"]["hit_rate"] > 0.45
+
+
+def main(argv=None) -> int:
+    quick = _quick_from_env() or (argv is not None and "--quick" in argv) \
+        or "--quick" in sys.argv[1:]
+    results = measure(QUICK if quick else FULL)
+    report(results)
+    print(f"wrote {os.path.abspath(OUT_PATH)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,7 +44,9 @@ def _load_warehouse(args) -> QCWarehouse:
     tree = load_qctree_from(args.tree)
     schema = Schema(dimensions=tree.dim_names, measures=args_measures(args))
     table = BaseTable.from_csv(args.table, schema)
-    return QCWarehouse(table, aggregate=tree.aggregate, tree=tree)
+    serve_frozen = getattr(args, "engine", "frozen") != "dict"
+    return QCWarehouse(table, aggregate=tree.aggregate, tree=tree,
+                       serve_frozen=serve_frozen)
 
 
 def args_measures(args):
@@ -176,6 +178,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("tree")
         p.add_argument("--table", required=True,
                        help="CSV base table (for label encoding)")
+        p.add_argument("--engine", default="frozen",
+                       choices=["frozen", "dict"],
+                       help="query engine: the read-optimized frozen view "
+                            "(default) or the mutable dict-backed tree")
         return p
 
     p_point = with_table(sub.add_parser("point", help="answer a point query"))

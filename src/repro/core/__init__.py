@@ -2,8 +2,10 @@
 
 from repro.core.cells import ALL
 from repro.core.qctree import QCTree
+from repro.core.frozen import FrozenQCTree
 from repro.core.construct import build_qctree, build_qctree_reference
 from repro.core.point_query import locate, point_query, point_query_raw
+from repro.core.query_cache import LsnQueryCache
 from repro.core.range_query import (
     RangeQuery, range_query, range_query_naive, range_query_raw,
 )
@@ -22,7 +24,8 @@ from repro.core.lattice_graph import (
 )
 
 __all__ = [
-    "ALL", "QCTree", "build_qctree", "build_qctree_reference", "locate",
+    "ALL", "QCTree", "FrozenQCTree", "LsnQueryCache",
+    "build_qctree", "build_qctree_reference", "locate",
     "analyze_tree", "lattice_to_dot", "quotient_lattice", "tree_to_dot",
     "point_query",
     "point_query_raw", "RangeQuery", "range_query", "range_query_naive",

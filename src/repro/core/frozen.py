@@ -1,0 +1,494 @@
+"""``FrozenQCTree`` — an immutable, array-backed QC-tree for serving reads.
+
+The mutable :class:`~repro.core.qctree.QCTree` stores edges and links as
+nested dicts, which is ideal for incremental maintenance but pays pointer
+chasing, per-step allocation, and an O(depth) ``upper_bound_of`` walk on
+every query.  Freezing (:meth:`QCTree.freeze
+<repro.core.qctree.QCTree.freeze>`) compiles the tree into a dense,
+read-only layout in the spirit of compact multidimensional-array cube
+representations:
+
+* nodes are renumbered into preorder (root is 0), dropping free slots;
+* tree edges and drill-down links live in CSR-style parallel arrays —
+  per-node *sorted* ``(dim, value)`` key slices resolved with
+  :mod:`bisect` — plus a merged per-node *routing* table (edges shadow
+  links on equal labels) so one probe per step serves Algorithm 3's
+  edge-then-link rule on the ``_locate`` fast path;
+* ``last_child_dim`` and the Lemma-2 *forced* descent (the unique child
+  in the last child-bearing dimension) are precomputed per node;
+* every node's upper bound is materialized, turning the final
+  verification of Algorithm 3 into an O(1) tuple fetch, and class
+  aggregate values are pre-extracted from their states.
+
+The frozen view implements the traversal protocol shared with
+:class:`~repro.core.qctree.QCTree` (``child`` / ``link_target`` /
+``last_child_dim`` / ``children_in_dim`` / ``state`` /
+``upper_bound_of`` / ``value_at`` / the ``iter_*`` family), so
+:mod:`~repro.core.point_query`, :mod:`~repro.core.range_query`, and the
+iceberg machinery run unchanged against either representation; it
+additionally provides the optimized ``_locate`` fast path that
+:func:`~repro.core.point_query.locate` dispatches to.  Answers — and
+node-access counts — are identical by construction, and
+``frozen.signature() == tree.signature()``.
+
+Freezing requires each dimension's label codes to be mutually comparable
+(dictionary-encoded ints always are); a mixed-type dimension cannot be
+sorted and raises :class:`~repro.errors.QueryError`.
+
+Instances are immutable: attribute assignment after construction raises
+:class:`TypeError`, so a frozen view can be shared across threads and
+cached query results can never be invalidated by in-place edits — the
+warehouse swaps in a whole new view instead.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator, Optional
+
+from repro.core.cells import ALL, Cell
+from repro.core.qctree import QCTree, tree_signature
+from repro.cube.aggregates import values_close
+from repro.errors import QueryError
+
+
+#: Routing-key sentinel guaranteed to miss every per-node routing dict:
+#: used for query values that cannot possibly label an edge or link.
+_ABSENT = object()
+
+
+def _route_key(stride, dim, value):
+    """The routing-dict key for label ``(dim, value)``.
+
+    In int-key mode (``stride > 0``) out-of-range and un-comparable
+    values map to :data:`_ABSENT` so they miss the table — exactly as
+    they would miss the generic representation's nested dicts.  Numeric
+    edge cases keep dict-lookup parity: ``3.0`` finds the code ``3``
+    (equal numbers hash alike), ``3.5`` misses.
+    """
+    if stride:
+        try:
+            if 0 <= value < stride:
+                return dim * stride + value
+        except TypeError:
+            pass
+        return _ABSENT
+    return (dim, value)
+
+
+class FrozenQCTree:
+    """Read-optimized immutable snapshot of a :class:`QCTree`.
+
+    Build via :meth:`QCTree.freeze` (or :meth:`from_tree`); node ids are
+    compact preorder ids, *not* the source tree's ids.
+    """
+
+    __slots__ = (
+        "n_dims", "dim_names", "aggregate", "root", "state",
+        "snapshot_meta",
+        "_node_dim", "_node_value", "_parent", "_value", "_ubs",
+        "_edge_start", "_edge_keys", "_edge_child",
+        "_link_start", "_link_keys", "_link_target",
+        "_routes", "_stride", "_last_dim", "_forced", "_sealed",
+    )
+
+    def __init__(self):
+        raise TypeError(
+            "FrozenQCTree cannot be constructed directly; use "
+            "QCTree.freeze() or FrozenQCTree.from_tree()"
+        )
+
+    @classmethod
+    def from_tree(cls, tree: QCTree) -> "FrozenQCTree":
+        """Compile ``tree`` into the frozen layout (see module docstring)."""
+        self = object.__new__(cls)
+        order = list(tree.iter_nodes())
+        remap = {node: i for i, node in enumerate(order)}
+        n = len(order)
+
+        node_dim = [0] * n
+        node_value = [None] * n
+        parent = [0] * n
+        state = [None] * n
+        value = [None] * n
+        ubs = [None] * n
+        edge_start = [0] * (n + 1)
+        edge_keys: list = []
+        edge_child: list = []
+        link_start = [0] * (n + 1)
+        link_keys: list = []
+        link_target: list = []
+        routes: list = [None] * n
+        last_dim = [-1] * n
+        forced = [-1] * n
+
+        try:
+            for i, old in enumerate(order):
+                node_dim[i] = tree.node_dim[old]
+                node_value[i] = tree.node_value[old]
+                parent[i] = remap.get(tree.parent[old], -1)
+                st = tree.state[old]
+                state[i] = st
+                if st is not None:
+                    value[i] = tree.aggregate.value(st)
+                ubs[i] = tree.upper_bound_of(old)
+
+                edges = sorted(
+                    ((dim, val), remap[child])
+                    for dim, val, child in tree.iter_children_of(old)
+                )
+                links = sorted(
+                    ((dim, val), remap[target])
+                    for dim, val, target in tree.iter_links_of(old)
+                )
+                edge_keys.extend(k for k, _ in edges)
+                edge_child.extend(c for _, c in edges)
+                edge_start[i + 1] = len(edge_keys)
+                link_keys.extend(k for k, _ in links)
+                link_target.extend(t for _, t in links)
+                link_start[i + 1] = len(link_keys)
+
+                # Merged routing table: an edge shadows a link with the
+                # same (dim, value) label, mirroring search_route's
+                # edge-first probe order.
+                routing = dict(links)
+                routing.update(edges)
+                routes[i] = routing
+
+                if edges:
+                    last = edges[-1][0][0]
+                    last_dim[i] = last
+                    in_last = [c for (d, _), c in edges if d == last]
+                    if len(in_last) == 1:
+                        forced[i] = in_last[0]
+        except TypeError as exc:
+            raise QueryError(
+                "cannot freeze QC-tree: a dimension mixes label types "
+                f"that do not sort together ({exc})"
+            ) from exc
+
+        # When every label is a non-negative int (dictionary codes always
+        # are), routing keys compress to ``dim * stride + value`` — one
+        # int hash per probe instead of a tuple allocation.  ``stride``
+        # stays 0 for exotic label types, keeping (dim, value) keys.
+        labels = [
+            value
+            for routing in routes
+            for (_, value) in routing
+        ]
+        stride = 0
+        if all(type(v) is int and v >= 0 for v in labels):
+            stride = max(labels, default=-1) + 1
+            routes = [
+                {dim * stride + value: target
+                 for (dim, value), target in routing.items()}
+                for routing in routes
+            ]
+
+        put = object.__setattr__
+        put(self, "n_dims", tree.n_dims)
+        put(self, "dim_names", tuple(tree.dim_names))
+        put(self, "aggregate", tree.aggregate)
+        put(self, "root", 0)
+        put(self, "state", tuple(state))
+        put(self, "snapshot_meta", dict(getattr(tree, "snapshot_meta", {})))
+        put(self, "_node_dim", tuple(node_dim))
+        put(self, "_node_value", tuple(node_value))
+        put(self, "_parent", tuple(parent))
+        put(self, "_value", tuple(value))
+        put(self, "_ubs", tuple(ubs))
+        put(self, "_edge_start", tuple(edge_start))
+        put(self, "_edge_keys", tuple(edge_keys))
+        put(self, "_edge_child", tuple(edge_child))
+        put(self, "_link_start", tuple(link_start))
+        put(self, "_link_keys", tuple(link_keys))
+        put(self, "_link_target", tuple(link_target))
+        put(self, "_routes", tuple(routes))
+        put(self, "_stride", stride)
+        put(self, "_last_dim", tuple(last_dim))
+        put(self, "_forced", tuple(forced))
+        put(self, "_sealed", True)
+        return self
+
+    # -- immutability --------------------------------------------------------
+
+    def __setattr__(self, name, value):
+        raise TypeError("FrozenQCTree is immutable")
+
+    def __delattr__(self, name):
+        raise TypeError("FrozenQCTree is immutable")
+
+    # -- size & iteration ----------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.state)
+
+    @property
+    def n_links(self) -> int:
+        return len(self._link_keys)
+
+    @property
+    def n_classes(self) -> int:
+        return sum(1 for s in self.state if s is not None)
+
+    def iter_nodes(self) -> Iterator[int]:
+        """Node ids in preorder (ids are dense, so this is just a range)."""
+        return iter(range(len(self.state)))
+
+    def iter_class_nodes(self) -> Iterator[int]:
+        for node, s in enumerate(self.state):
+            if s is not None:
+                yield node
+
+    def iter_links(self) -> Iterator[tuple]:
+        start, keys, targets = (
+            self._link_start, self._link_keys, self._link_target
+        )
+        for node in range(len(self.state)):
+            for i in range(start[node], start[node + 1]):
+                dim, value = keys[i]
+                yield node, dim, value, targets[i]
+
+    def iter_children_of(self, node: int) -> Iterator[tuple]:
+        start, keys = self._edge_start, self._edge_keys
+        for i in range(start[node], start[node + 1]):
+            dim, value = keys[i]
+            yield dim, value, self._edge_child[i]
+
+    def iter_links_of(self, node: int) -> Iterator[tuple]:
+        start, keys = self._link_start, self._link_keys
+        for i in range(start[node], start[node + 1]):
+            dim, value = keys[i]
+            yield dim, value, self._link_target[i]
+
+    # -- traversal protocol --------------------------------------------------
+
+    def child(self, node: int, dim: int, value) -> Optional[int]:
+        """Tree child of ``node`` labeled ``(dim, value)``, or None."""
+        lo, hi = self._edge_start[node], self._edge_start[node + 1]
+        try:
+            i = bisect_left(self._edge_keys, (dim, value), lo, hi)
+        except TypeError:
+            return None  # value type never present in this dimension
+        if i < hi and self._edge_keys[i] == (dim, value):
+            return self._edge_child[i]
+        return None
+
+    def link_target(self, node: int, dim: int, value) -> Optional[int]:
+        """Link target of ``node`` labeled ``(dim, value)``, or None."""
+        lo, hi = self._link_start[node], self._link_start[node + 1]
+        try:
+            i = bisect_left(self._link_keys, (dim, value), lo, hi)
+        except TypeError:
+            return None
+        if i < hi and self._link_keys[i] == (dim, value):
+            return self._link_target[i]
+        return None
+
+    def last_child_dim(self, node: int) -> Optional[int]:
+        """The largest dimension with a tree child (precomputed)."""
+        last = self._last_dim[node]
+        return None if last < 0 else last
+
+    def children_in_dim(self, node: int, dim: int) -> dict:
+        """Mapping ``value -> child`` of ``node``'s tree children in ``dim``."""
+        lo, hi = self._edge_start[node], self._edge_start[node + 1]
+        keys = self._edge_keys
+        first = bisect_left(keys, (dim,), lo, hi)
+        out = {}
+        for i in range(first, hi):
+            d, value = keys[i]
+            if d != dim:
+                break
+            out[value] = self._edge_child[i]
+        return out
+
+    # -- cell <-> node -------------------------------------------------------
+
+    def upper_bound_of(self, node: int) -> Cell:
+        """The cell spelled by ``node``'s root path (materialized, O(1))."""
+        return self._ubs[node]
+
+    def value_at(self, node: int):
+        """User-facing aggregate value at a class node (pre-extracted)."""
+        return self._value[node]
+
+    def class_upper_bounds(self) -> dict:
+        return {
+            self._ubs[node]: self._value[node]
+            for node in self.iter_class_nodes()
+        }
+
+    # -- optimized traversal fast paths --------------------------------------
+
+    def _search_route(self, node: int, dim: int, value,
+                      counter=None) -> Optional[int]:
+        """``search_route`` over the packed arrays; answers and counts
+        exactly like :func:`repro.core.point_query.search_route`.
+        :func:`repro.core.range_query.range_query` binds this per query.
+        """
+        routes = self._routes
+        forced = self._forced
+        last_dim = self._last_dim
+        key = _route_key(self._stride, dim, value)
+        while True:
+            nxt = routes[node].get(key)
+            if nxt is not None:
+                if counter is not None:
+                    counter[0] += 1
+                return nxt
+            last = last_dim[node]
+            if last < 0 or last >= dim:
+                return None
+            node = forced[node]
+            if node < 0:
+                return None
+            if counter is not None:
+                counter[0] += 1
+
+    def _descend_to_class(self, node: int, counter=None) -> Optional[int]:
+        """``descend_to_class`` via the precomputed forced-child array."""
+        state = self.state
+        forced = self._forced
+        while state[node] is None:
+            node = forced[node]
+            if node < 0:
+                return None
+            if counter is not None:
+                counter[0] += 1
+        return node
+
+    # -- optimized point-query walk ------------------------------------------
+
+    def _locate(self, cell: Cell, counter=None) -> Optional[int]:
+        """Algorithm 3 over the packed arrays; semantics and node-access
+        counts identical to :func:`repro.core.point_query.locate_generic`.
+        """
+        routes = self._routes
+        stride = self._stride
+        forced = self._forced
+        last_dim = self._last_dim
+        state = self.state
+        node = 0
+        if counter is not None:
+            counter[0] += 1
+        for dim, value in enumerate(cell):
+            if value is ALL:
+                continue
+            key = _route_key(stride, dim, value)
+            while True:
+                nxt = routes[node].get(key)
+                if nxt is not None:
+                    node = nxt
+                    if counter is not None:
+                        counter[0] += 1
+                    break
+                # Lemma 2 fallback: the unique child in the last
+                # child-bearing dimension, valid only before ``dim``.
+                last = last_dim[node]
+                if last < 0 or last >= dim:
+                    return None
+                nxt = forced[node]
+                if nxt < 0:
+                    return None
+                node = nxt
+                if counter is not None:
+                    counter[0] += 1
+        while state[node] is None:
+            nxt = forced[node]
+            if nxt < 0:
+                return None
+            node = nxt
+            if counter is not None:
+                counter[0] += 1
+        for cv, uv in zip(cell, self._ubs[node]):
+            if cv is not ALL and cv != uv:
+                return None
+        return node
+
+    def _point_query(self, cell: Cell):
+        """Aggregate value of ``cell`` or None — the tightest serving path.
+
+        Same walk as :meth:`_locate` with the access counter, the node
+        id, and the ``generalizes`` call stripped out;
+        :func:`repro.core.point_query.point_query` dispatches here.
+        """
+        if len(cell) != self.n_dims:
+            raise QueryError(
+                f"query cell {cell!r} has {len(cell)} positions, tree has "
+                f"{self.n_dims} dimensions"
+            )
+        routes = self._routes
+        stride = self._stride
+        forced = self._forced
+        last_dim = self._last_dim
+        state = self.state
+        node = 0
+        for dim, value in enumerate(cell):
+            if value is ALL:
+                continue
+            if stride:
+                try:
+                    key = (
+                        dim * stride + value
+                        if 0 <= value < stride else _ABSENT
+                    )
+                except TypeError:
+                    key = _ABSENT
+            else:
+                key = (dim, value)
+            while True:
+                nxt = routes[node].get(key)
+                if nxt is not None:
+                    node = nxt
+                    break
+                last = last_dim[node]
+                if last < 0 or last >= dim:
+                    return None
+                node = forced[node]
+                if node < 0:
+                    return None
+        while state[node] is None:
+            node = forced[node]
+            if node < 0:
+                return None
+        for cv, uv in zip(cell, self._ubs[node]):
+            if cv is not ALL and cv != uv:
+                return None
+        return self._value[node]
+
+    # -- comparison & display ------------------------------------------------
+
+    def signature(self) -> tuple:
+        """Same structural signature as the source tree's
+        :meth:`QCTree.signature <repro.core.qctree.QCTree.signature>`."""
+        return tree_signature(self)
+
+    def equivalent_to(self, other, rel_tol: float = 1e-9) -> bool:
+        """Structural equality with float-tolerant aggregate comparison;
+        ``other`` may be frozen or dict-backed."""
+        mine, theirs = self.signature(), other.signature()
+        if mine[0] != theirs[0] or mine[1] != theirs[1]:
+            return False
+        if len(mine[2]) != len(theirs[2]):
+            return False
+        return all(
+            ub_a == ub_b and values_close(val_a, val_b, rel_tol=rel_tol)
+            for (ub_a, val_a), (ub_b, val_b) in zip(mine[2], theirs[2])
+        )
+
+    def stats(self) -> dict:
+        """Size statistics, same keys as :meth:`QCTree.stats`."""
+        return {
+            "nodes": self.n_nodes,
+            "tree_edges": self.n_nodes - 1,
+            "links": self.n_links,
+            "classes": self.n_classes,
+        }
+
+    def __repr__(self):
+        return (
+            f"FrozenQCTree(nodes={self.n_nodes}, links={self.n_links}, "
+            f"classes={self.n_classes}, aggregate={self.aggregate.name})"
+        )

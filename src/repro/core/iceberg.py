@@ -156,15 +156,17 @@ def _satisfies(value, threshold, op: str) -> bool:
 
 
 def _useful_nodes(tree: QCTree, satisfying) -> set:
-    """Nodes that can reach a satisfying class node via edges or links."""
+    """Nodes that can reach a satisfying class node via edges or links.
+
+    Walks the traversal protocol's ``iter_children_of``/``iter_links_of``
+    so it works on dict-backed and frozen trees alike.
+    """
     incoming: dict = {}
     for node in tree.iter_nodes():
-        for by_value in tree.children[node].values():
-            for child in by_value.values():
-                incoming.setdefault(child, []).append(node)
-        for by_value in tree.links[node].values():
-            for target in by_value.values():
-                incoming.setdefault(target, []).append(node)
+        for _, _, child in tree.iter_children_of(node):
+            incoming.setdefault(child, []).append(node)
+        for _, _, target in tree.iter_links_of(node):
+            incoming.setdefault(target, []).append(node)
     useful = set(satisfying)
     frontier = list(satisfying)
     while frontier:

@@ -20,6 +20,27 @@ specializes the query cell.  For non-empty cells this always holds (the
 upper bound is the cell's closure); for empty cells it never can (any
 specializing class would give the cell a non-empty cover), so the check
 converts every wayward walk on an empty cell into the correct None.
+
+Node-access counting convention
+-------------------------------
+``counter`` (a one-element list) counts every node the walk *occupies*,
+exactly once each: :func:`locate` counts the node the walk starts from
+(the root), and each routing step — edge, link, or Lemma-2 forced
+descent — counts the node it moves to.  A query that never leaves the
+root therefore reports 1 access, and the total for any query equals the
+number of distinct positions on its root-to-class walk.  The helpers
+:func:`search_route` and :func:`descend_to_class` count only the nodes
+they move to; counting the starting node is the caller's job.
+
+The functions here run against either tree representation: the mutable
+dict-backed :class:`~repro.core.qctree.QCTree` or the immutable
+array-backed :class:`~repro.core.frozen.FrozenQCTree`, which share the
+traversal protocol (``child`` / ``link_target`` / ``last_child_dim`` /
+``children_in_dim`` / ``state`` / ``upper_bound_of``).  A representation
+may additionally expose an optimized ``_locate`` method with identical
+semantics; :func:`locate` dispatches to it when present, and
+:func:`locate_generic` always takes the protocol path (the parity tests
+compare the two).
 """
 
 from __future__ import annotations
@@ -41,16 +62,17 @@ def search_route(tree: QCTree, node: int, dim: int, value,
     Returns None when the route provably cannot exist.
 
     ``counter`` is an optional one-element list incremented once per node
-    visited — the benchmarks use it to reproduce the paper's node-access
-    comparison with Dwarf.
+    the route *moves to* (the starting node is counted by the caller; see
+    the module docstring) — the benchmarks use it to reproduce the
+    paper's node-access comparison with Dwarf.
     """
     while True:
-        if counter is not None:
-            counter[0] += 1
         nxt = tree.child(node, dim, value)
         if nxt is None:
             nxt = tree.link_target(node, dim, value)
         if nxt is not None:
+            if counter is not None:
+                counter[0] += 1
             return nxt
         last = tree.last_child_dim(node)
         if last is None or last >= dim:
@@ -59,6 +81,8 @@ def search_route(tree: QCTree, node: int, dim: int, value,
         if len(kids) != 1:
             return None
         node = next(iter(kids.values()))
+        if counter is not None:
+            counter[0] += 1
 
 
 def descend_to_class(tree: QCTree, node: int, counter=None) -> Optional[int]:
@@ -67,6 +91,7 @@ def descend_to_class(tree: QCTree, node: int, counter=None) -> Optional[int]:
     Used after all query values are matched: the remaining dimensions of
     the class upper bound are forced by cover equivalence, each appearing
     as the unique child in the node's last child-bearing dimension.
+    ``counter`` counts each node moved to, per the module convention.
     """
     while tree.state[node] is None:
         last = tree.last_child_dim(node)
@@ -81,19 +106,38 @@ def descend_to_class(tree: QCTree, node: int, counter=None) -> Optional[int]:
     return node
 
 
-def locate(tree: QCTree, cell: Cell, counter=None) -> Optional[int]:
+def locate(tree, cell: Cell, counter=None) -> Optional[int]:
     """Return the class node answering point query ``cell``, or None.
 
     The returned node's upper bound is the closure of ``cell``; None means
     the cell has an empty cover set.  ``counter`` (optional one-element
-    list) accumulates the number of node visits.
+    list) accumulates node accesses per the module convention (the start
+    node counts, so an all-``*`` query on a class root reports 1).
+
+    Dispatches to the tree's optimized ``_locate`` when the representation
+    provides one (:class:`~repro.core.frozen.FrozenQCTree` does); both
+    paths answer and count identically.
     """
     if len(cell) != tree.n_dims:
         raise QueryError(
             f"query cell {cell!r} has {len(cell)} positions, tree has "
             f"{tree.n_dims} dimensions"
         )
+    fast = getattr(tree, "_locate", None)
+    if fast is not None:
+        return fast(cell, counter)
+    return locate_generic(tree, cell, counter)
+
+
+def locate_generic(tree, cell: Cell, counter=None) -> Optional[int]:
+    """:func:`locate` over the shared traversal protocol only.
+
+    Works on any representation and never takes a representation-specific
+    fast path; the frozen/dict parity tests run it against both trees.
+    """
     node = tree.root
+    if counter is not None:
+        counter[0] += 1
     for dim, value in enumerate(cell):
         if value is ALL:
             continue
@@ -108,8 +152,16 @@ def locate(tree: QCTree, cell: Cell, counter=None) -> Optional[int]:
     return node
 
 
-def point_query(tree: QCTree, cell: Cell):
-    """Answer a point query: the aggregate value of ``cell`` or None."""
+def point_query(tree, cell: Cell):
+    """Answer a point query: the aggregate value of ``cell`` or None.
+
+    Dispatches to the representation's ``_point_query`` fast path when it
+    has one (the frozen serving view does); otherwise routes through
+    :func:`locate`.  Both give the same answers.
+    """
+    fast = getattr(tree, "_point_query", None)
+    if fast is not None:
+        return fast(cell)
     node = locate(tree, cell)
     return None if node is None else tree.value_at(node)
 

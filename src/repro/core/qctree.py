@@ -28,6 +28,46 @@ from repro.cube.aggregates import AggregateFunction, values_close
 from repro.errors import QueryError
 
 
+def tree_signature(tree) -> tuple:
+    """Order-independent structural signature of any QC-tree representation.
+
+    ``(paths, links, classes)`` computed through the shared traversal
+    protocol (``iter_nodes`` / ``iter_class_nodes`` / ``iter_links`` /
+    ``upper_bound_of`` / ``value_at``), so a dict-backed
+    :class:`QCTree` and its :meth:`QCTree.freeze` view compare equal.
+    """
+    from repro.core.cells import dict_sort_key
+
+    classes = tuple(
+        sorted(
+            (
+                (tree.upper_bound_of(n), tree.value_at(n))
+                for n in tree.iter_class_nodes()
+            ),
+            key=lambda pair: dict_sort_key(pair[0]),
+        )
+    )
+    paths = tuple(
+        sorted(
+            (tree.upper_bound_of(n) for n in tree.iter_nodes()),
+            key=dict_sort_key,
+        )
+    )
+    links = tuple(
+        sorted(
+            (
+                (tree.upper_bound_of(src), dim, value, tree.upper_bound_of(dst))
+                for src, dim, value, dst in tree.iter_links()
+            ),
+            key=lambda item: (
+                dict_sort_key(item[0]), item[1], item[2],
+                dict_sort_key(item[3]),
+            ),
+        )
+    )
+    return paths, links, classes
+
+
 class QCTree:
     """A quotient cube tree over ``n_dims`` dimensions.
 
@@ -110,6 +150,23 @@ class QCTree:
             for dim, by_value in by_dim.items():
                 for value, target in by_value.items():
                     yield node, dim, value, target
+
+    def iter_children_of(self, node: int) -> Iterator[tuple]:
+        """Yield ``node``'s tree edges as ``(dim, value, child)``.
+
+        Part of the traversal protocol shared with
+        :class:`~repro.core.frozen.FrozenQCTree`, so graph walks (e.g. the
+        iceberg mark strategy) run unchanged on either representation.
+        """
+        for dim, by_value in self.children[node].items():
+            for value, child in by_value.items():
+                yield dim, value, child
+
+    def iter_links_of(self, node: int) -> Iterator[tuple]:
+        """Yield ``node``'s drill-down links as ``(dim, value, target)``."""
+        for dim, by_value in self.links[node].items():
+            for value, target in by_value.items():
+                yield dim, value, target
 
     # -- structural primitives ----------------------------------------------
 
@@ -273,6 +330,18 @@ class QCTree:
             self._free_ids.add(node)
             node = parent
 
+    def freeze(self) -> "FrozenQCTree":
+        """Build the immutable array-backed serving view of this tree.
+
+        Returns a :class:`~repro.core.frozen.FrozenQCTree` answering
+        every query identically (equal :meth:`signature`); see that
+        module for the layout.  The frozen view is a snapshot — later
+        mutations of this tree do not propagate into it.
+        """
+        from repro.core.frozen import FrozenQCTree
+
+        return FrozenQCTree.from_tree(self)
+
     def copy(self) -> "QCTree":
         """Structural copy sharing immutable labels and states.
 
@@ -327,38 +396,11 @@ class QCTree:
         Two QC-trees over the same data must have equal signatures up to
         float tolerance; :meth:`equivalent_to` performs the tolerant
         comparison.  Node ids are abstracted away by describing nodes
-        through their root paths.
+        through their root paths, so a :class:`FrozenQCTree
+        <repro.core.frozen.FrozenQCTree>` built from this tree has an
+        *equal* signature despite its compacted ids.
         """
-        from repro.core.cells import dict_sort_key
-
-        classes = tuple(
-            sorted(
-                (
-                    (self.upper_bound_of(n), self.value_at(n))
-                    for n in self.iter_class_nodes()
-                ),
-                key=lambda pair: dict_sort_key(pair[0]),
-            )
-        )
-        paths = tuple(
-            sorted(
-                (self.upper_bound_of(n) for n in self.iter_nodes()),
-                key=dict_sort_key,
-            )
-        )
-        links = tuple(
-            sorted(
-                (
-                    (self.upper_bound_of(src), dim, value, self.upper_bound_of(dst))
-                    for src, dim, value, dst in self.iter_links()
-                ),
-                key=lambda item: (
-                    dict_sort_key(item[0]), item[1], item[2],
-                    dict_sort_key(item[3]),
-                ),
-            )
-        )
-        return paths, links, classes
+        return tree_signature(self)
 
     def equivalent_to(self, other: "QCTree", rel_tol: float = 1e-9) -> bool:
         """Structural equality with float-tolerant aggregate comparison."""

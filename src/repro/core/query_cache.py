@@ -1,0 +1,101 @@
+"""A bounded LRU query cache whose validity is pinned to a WAL LSN.
+
+The warehouse answers point queries out of this cache on the hot serving
+path.  Correctness under maintenance and crash recovery comes from
+*stamping*, not from enumerating what each mutation touched: every entry
+set is valid at exactly one logical version — the warehouse's serving
+stamp, built from the write-ahead log's last LSN (PR 1) plus a local
+mutation epoch for un-logged changes (rebuild, WAL-less warehouses).
+A lookup presenting a different stamp atomically drops the entire cache
+before answering, so a single insert, delete, rebuild, or recovery can
+never leave a stale answer behind — including answers for cells the
+mutation *indirectly* changed through class merging or splitting, which
+per-cell invalidation would miss.
+
+Eviction is plain LRU over a :class:`collections.OrderedDict`; hits,
+misses, and invalidation counts are kept for the serving benchmark's
+cache-hit-rate metric.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+#: Returned by :meth:`LsnQueryCache.lookup` on a miss; a sentinel object
+#: (not None) because None is a legitimate cached answer (empty cover).
+MISS = object()
+
+
+class LsnQueryCache:
+    """LRU cache of query answers, all valid at one serving stamp."""
+
+    def __init__(self, maxsize: int = 1024):
+        if maxsize <= 0:
+            raise ValueError(f"cache maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict" = OrderedDict()
+        self._stamp = None
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stamp(self):
+        """The stamp the current entries are valid at (None when empty)."""
+        return self._stamp
+
+    def lookup(self, key, stamp):
+        """The cached answer for ``key`` at ``stamp``, or :data:`MISS`.
+
+        A stamp different from the one the entries were filled under
+        invalidates the whole cache first — the atomic part: between the
+        comparison and the answer there is no window where an old entry
+        can be served against new data.
+        """
+        if stamp != self._stamp:
+            self.invalidate(stamp)
+            self.misses += 1
+            return MISS
+        try:
+            value = self._entries.pop(key)
+        except KeyError:
+            self.misses += 1
+            return MISS
+        self._entries[key] = value  # re-append: most recently used
+        self.hits += 1
+        return value
+
+    def store(self, key, stamp, value) -> None:
+        """Remember ``key -> value`` as valid at ``stamp``."""
+        if stamp != self._stamp:
+            self.invalidate(stamp)
+        self._entries[key] = value
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, stamp=None) -> None:
+        """Drop every entry and re-pin the cache to ``stamp``."""
+        self._entries.clear()
+        self._stamp = stamp
+        self.invalidations += 1
+
+    def stats(self) -> dict:
+        """Hit/miss/size counters (for ``QCWarehouse.stats`` and benchmarks)."""
+        lookups = self.hits + self.misses
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }
+
+    def __repr__(self):
+        return (
+            f"LsnQueryCache(size={len(self._entries)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses}, stamp={self._stamp!r})"
+        )

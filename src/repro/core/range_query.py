@@ -81,12 +81,17 @@ def range_query(tree: QCTree, spec) -> dict:
     """
     query = spec if isinstance(spec, RangeQuery) else RangeQuery(spec, tree.n_dims)
     results: dict = {}
+    # Bind the representation's traversal fast paths once per query; the
+    # frozen serving view provides them, the dict-backed tree takes the
+    # generic protocol route.  Answers are identical either way.
+    fast_step = getattr(tree, "_search_route", None)
+    fast_descend = getattr(tree, "_descend_to_class", None)
 
     def rec(dim: int, node: Optional[int], assigned: list) -> None:
         if node is None:
             return
         if dim == query.n_dims:
-            _finish(tree, node, tuple(assigned), results)
+            _finish(tree, node, tuple(assigned), results, fast_descend)
             return
         entry = query.positions[dim]
         if entry is ALL:
@@ -95,7 +100,8 @@ def range_query(tree: QCTree, spec) -> dict:
         for value in entry:
             rec(
                 dim + 1,
-                search_route(tree, node, dim, value),
+                fast_step(node, dim, value) if fast_step is not None
+                else search_route(tree, node, dim, value),
                 assigned + [value],
             )
 
@@ -103,9 +109,13 @@ def range_query(tree: QCTree, spec) -> dict:
     return results
 
 
-def _finish(tree: QCTree, node: int, cell: Cell, results: dict) -> None:
+def _finish(tree: QCTree, node: int, cell: Cell, results: dict,
+            fast_descend=None) -> None:
     """Final descent + verification for one fully assigned point."""
-    node = descend_to_class(tree, node)
+    if fast_descend is not None:
+        node = fast_descend(node)
+    else:
+        node = descend_to_class(tree, node)
     if node is None:
         return
     if generalizes(cell, tree.upper_bound_of(node)):
@@ -143,7 +153,14 @@ def range_query_raw(tree: QCTree, table, raw_spec) -> dict:
         if entry is ALL or entry is None or entry == "*":
             encoded.append(ALL)
             continue
-        values = entry if isinstance(entry, (list, tuple, set, frozenset)) else [entry]
+        # Accept exactly the iterable types RangeQuery.__init__ accepts —
+        # including range objects, which previously fell through to the
+        # single-label branch and silently matched nothing.
+        values = (
+            entry
+            if isinstance(entry, (list, tuple, set, frozenset, range))
+            else [entry]
+        )
         codes = []
         for value in values:
             try:

@@ -177,12 +177,17 @@ def _parse_payload(payload: str, payload_offset: int):
         ) from exc
 
 
-def load_qctree(fp) -> QCTree:
+def load_qctree(fp, freeze: bool = False):
     """Read a QC-tree written by :func:`dump_qctree` (v2) or the legacy v1.
 
     Raises :class:`SerializationError` on bad magic, checksum or count
     mismatch, malformed JSON, or structurally inconsistent content; the
     message carries the failing byte offset where one is known.
+
+    ``freeze=True`` returns the immutable, read-optimized
+    :class:`~repro.core.frozen.FrozenQCTree` compiled from the loaded
+    tree instead of the mutable tree itself — for read-only consumers
+    that will never run maintenance on the snapshot.
     """
     header = fp.readline()
     magic = header.strip()
@@ -222,10 +227,12 @@ def load_qctree(fp) -> QCTree:
                 f"links={want_links}, payload has nodes={n_nodes} "
                 f"links={n_links}"
             )
-        return _tree_from_document(document)
+        tree = _tree_from_document(document)
+        return tree.freeze() if freeze else tree
     if magic == _MAGIC_V1:
         document = _parse_payload(fp.read(), payload_offset)
-        return _tree_from_document(document)
+        tree = _tree_from_document(document)
+        return tree.freeze() if freeze else tree
     raise SerializationError(
         f"bad magic {magic!r}; expected {_MAGIC_V2!r} (or legacy "
         f"{_MAGIC_V1!r})"
@@ -271,13 +278,14 @@ def _fsync_directory(directory: str) -> None:
         os.close(fd)
 
 
-def load_qctree_from(path) -> QCTree:
+def load_qctree_from(path, freeze: bool = False):
     """Read a QC-tree from ``path``.
 
     Any corruption — an empty file, binary garbage, truncation, a bad
     checksum, malformed JSON — raises :class:`SerializationError` with
     the path in the message; only genuine I/O failures (missing file,
-    permissions) surface as :class:`OSError`.
+    permissions) surface as :class:`OSError`.  ``freeze=True`` returns
+    the read-optimized frozen view, as in :func:`load_qctree`.
     """
     path_text = os.fspath(path)
     with open(path, "rb") as fp:
@@ -292,7 +300,7 @@ def load_qctree_from(path) -> QCTree:
             f"offset {exc.start})"
         ) from exc
     try:
-        return loads_qctree(text)
+        return loads_qctree(text, freeze=freeze)
     except SerializationError as exc:
         raise SerializationError(f"{path_text}: {exc}") from exc
 
@@ -304,6 +312,6 @@ def dumps_qctree(tree: QCTree, meta=None) -> str:
     return buffer.getvalue()
 
 
-def loads_qctree(text: str) -> QCTree:
+def loads_qctree(text: str, freeze: bool = False):
     """Deserialize a QC-tree from a string."""
-    return load_qctree(io.StringIO(text))
+    return load_qctree(io.StringIO(text), freeze=freeze)

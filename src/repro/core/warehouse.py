@@ -33,6 +33,7 @@ from repro.core.iceberg import MeasureIndex, constrained_iceberg, pure_iceberg
 from repro.core.maintenance.delete import apply_deletions
 from repro.core.maintenance.insert import apply_insertions
 from repro.core.point_query import point_query_raw
+from repro.core.query_cache import MISS, LsnQueryCache
 from repro.core.range_query import range_query_raw
 from repro.core.serialize import load_qctree_from, save_qctree
 from repro.cube.aggregates import make_aggregate
@@ -66,10 +67,21 @@ def _csv_stamped_lsn(table_path) -> int:
 
 
 class QCWarehouse:
-    """A queryable, maintainable OLAP warehouse backed by a QC-tree."""
+    """A queryable, maintainable OLAP warehouse backed by a QC-tree.
+
+    Reads are served from a frozen, array-backed view of the tree
+    (:meth:`QCTree.freeze <repro.core.qctree.QCTree.freeze>`) rebuilt
+    lazily after each mutation, with point answers memoized in a bounded
+    LRU cache stamped by the serving version (WAL LSN + local mutation
+    epoch) — any insert, delete, rebuild, or recovery atomically
+    invalidates every cached answer.  Pass ``serve_frozen=False`` to
+    query the mutable dict-backed tree directly, or ``cache_size=0`` to
+    disable the cache.
+    """
 
     def __init__(self, table: BaseTable, aggregate="count",
-                 tree=None, index_key=None, wal=None):
+                 tree=None, index_key=None, wal=None,
+                 serve_frozen: bool = True, cache_size: int = 1024):
         self.table = table
         self.aggregate = make_aggregate(aggregate)
         self.tree = tree if tree is not None else build_qctree(table, self.aggregate)
@@ -79,26 +91,79 @@ class QCWarehouse:
         self._degraded = False
         self._fsck_report = None
         self.last_recovery: Optional[dict] = None
+        self._serve_frozen = serve_frozen
+        self._frozen = None
+        self._cache = LsnQueryCache(cache_size) if cache_size else None
+        self._epoch = 0
 
     @classmethod
     def from_records(cls, records, schema: Schema, aggregate="count",
-                     index_key=None) -> "QCWarehouse":
+                     index_key=None, **serving) -> "QCWarehouse":
         """Build a warehouse from raw records."""
         return cls(BaseTable.from_records(records, schema), aggregate,
-                   index_key=index_key)
+                   index_key=index_key, **serving)
 
     # -- queries -------------------------------------------------------------
+
+    @property
+    def serving_tree(self):
+        """The representation queries run against right now.
+
+        The frozen view while healthy (built on first use after any
+        mutation); the mutable tree when ``serve_frozen=False`` or while
+        degraded (fsck found corruption — no point compiling a corrupt
+        tree into a faster one).
+        """
+        if not self._serve_frozen or self._degraded:
+            return self.tree
+        if self._frozen is None:
+            self._frozen = self.tree.freeze()
+        return self._frozen
+
+    def _serving_stamp(self) -> tuple:
+        """The logical version cached answers are valid at.
+
+        ``(WAL LSN, mutation epoch)``: the LSN covers logged maintenance
+        (PR 1's durability path), the epoch covers un-logged changes —
+        WAL-less warehouses, :meth:`rebuild`, degraded-mode flips.
+        """
+        lsn = self.wal.last_lsn if self.wal is not None else 0
+        return (lsn, self._epoch)
+
+    def _mutated(self) -> None:
+        """Invalidate every read-path structure after a tree change."""
+        self._index = None
+        self._frozen = None
+        self._epoch += 1
 
     def point(self, raw_cell):
         """Point query with raw labels (``"*"`` / None / ALL for any).
 
-        A degraded warehouse (one whose tree failed :meth:`verify`)
-        answers by scanning the base table instead of routing through
-        the possibly-corrupt tree — slower, but never wrong.
+        Served from the query cache when a fresh answer for the cell is
+        present, else from :attr:`serving_tree`.  A degraded warehouse
+        (one whose tree failed :meth:`verify`) answers by scanning the
+        base table instead of routing through the possibly-corrupt tree
+        — slower, but never wrong — and bypasses the cache entirely.
         """
         if self._degraded:
             return self._scan_point(raw_cell)
-        return point_query_raw(self.tree, self.table, raw_cell)
+        cache = self._cache
+        if cache is None:
+            return point_query_raw(self.serving_tree, self.table, raw_cell)
+        try:
+            key = tuple(raw_cell)
+        except TypeError:
+            return point_query_raw(self.serving_tree, self.table, raw_cell)
+        stamp = self._serving_stamp()
+        try:
+            value = cache.lookup(key, stamp)
+        except TypeError:  # unhashable label inside the cell
+            return point_query_raw(self.serving_tree, self.table, raw_cell)
+        if value is not MISS:
+            return value
+        value = point_query_raw(self.serving_tree, self.table, raw_cell)
+        cache.store(key, stamp, value)
+        return value
 
     def _scan_point(self, raw_cell):
         if len(raw_cell) != self.table.n_dims:
@@ -114,14 +179,15 @@ class QCWarehouse:
 
     def range(self, raw_spec) -> dict:
         """Range query with raw labels; returns ``{decoded cell: value}``."""
-        return range_query_raw(self.tree, self.table, raw_spec)
+        return range_query_raw(self.serving_tree, self.table, raw_spec)
 
     def iceberg(self, threshold, op: str = ">=") -> list:
         """Pure iceberg query: classes whose aggregate clears the threshold.
 
         Returns ``[(decoded upper bound, value), ...]``.
         """
-        classes = pure_iceberg(self.tree, threshold, op=op, index=self.index)
+        tree = self.serving_tree
+        classes = pure_iceberg(tree, threshold, op=op, index=self.index)
         return [(self.table.decode_cell(ub), value) for ub, value in classes]
 
     def iceberg_in_range(self, raw_spec, threshold, op: str = ">=",
@@ -131,7 +197,7 @@ class QCWarehouse:
         if encoded is None:
             return {}
         results = constrained_iceberg(
-            self.tree, encoded, threshold, op=op, strategy=strategy,
+            self.serving_tree, encoded, threshold, op=op, strategy=strategy,
             index=self.index if strategy == "mark" else None,
             key=self._index_key,
         )
@@ -147,7 +213,7 @@ class QCWarehouse:
                 continue
             values = (
                 entry
-                if isinstance(entry, (list, tuple, set, frozenset))
+                if isinstance(entry, (list, tuple, set, frozenset, range))
                 else [entry]
             )
             codes = []
@@ -163,9 +229,14 @@ class QCWarehouse:
 
     @property
     def index(self) -> MeasureIndex:
-        """The measure index, (re)built lazily after updates."""
+        """The measure index, (re)built lazily after updates.
+
+        Indexed over :attr:`serving_tree` — the node ids it stores must
+        belong to the representation queries traverse (the mark strategy
+        intersects them with live walk positions).
+        """
         if self._index is None:
-            self._index = MeasureIndex(self.tree, key=self._index_key)
+            self._index = MeasureIndex(self.serving_tree, key=self._index_key)
         return self._index
 
     # -- maintenance ------------------------------------------------------------
@@ -182,7 +253,7 @@ class QCWarehouse:
         if self.wal is not None:
             self.wal.append("insert", records)
         self.table = apply_insertions(self.tree, self.table, records)
-        self._index = None
+        self._mutated()
 
     def delete(self, records) -> None:
         """Delete raw records incrementally (batch, matched on dimensions).
@@ -194,7 +265,7 @@ class QCWarehouse:
         if self.wal is not None:
             self.wal.append("delete", records)
         self.table = apply_deletions(self.tree, self.table, records)
-        self._index = None
+        self._mutated()
 
     def modify(self, old_records, new_records) -> None:
         """Replace records: the paper's "modifications can be simulated by
@@ -309,12 +380,19 @@ class QCWarehouse:
 
     @classmethod
     def load(cls, tree_path, table_path, schema: Schema,
-             index_key=None) -> "QCWarehouse":
-        """Restore a warehouse persisted by :meth:`save`."""
+             index_key=None, freeze: bool = False) -> "QCWarehouse":
+        """Restore a warehouse persisted by :meth:`save`.
+
+        ``freeze=True`` compiles the frozen serving view eagerly at load
+        time instead of on the first query — useful when the load is a
+        deliberate warm-up (e.g. a serving replica coming online).
+        """
         tree = load_qctree_from(tree_path)
         table = BaseTable.from_csv(table_path, schema)
         wh = cls(table, aggregate=tree.aggregate, tree=tree,
                  index_key=index_key)
+        if freeze:
+            wh._frozen = tree.freeze()
         return wh
 
     # -- durability ------------------------------------------------------------
@@ -389,7 +467,7 @@ class QCWarehouse:
                 replayed += 1
             except MaintenanceError as exc:
                 skipped.append((record.lsn, str(exc)))
-        wh._index = None
+        wh._mutated()
         wh.wal = wal
         wh.last_recovery = {
             "replayed": replayed,
@@ -416,15 +494,22 @@ class QCWarehouse:
             samples=samples,
             seed=seed,
         )
+        was_degraded = self._degraded
         self._degraded = not report.ok
         self._fsck_report = report
+        if was_degraded != self._degraded:
+            # The serving representation just switched (frozen <-> dict),
+            # so indexed node ids and cached answers are both suspect —
+            # the cache may hold answers computed before the corruption
+            # was detected.
+            self._mutated()
         return report
 
     def rebuild(self) -> None:
         """Rebuild the tree from the base table (recovers from degraded
         mode when the table itself is trustworthy)."""
         self.tree = build_qctree(self.table, self.aggregate)
-        self._index = None
+        self._mutated()
         self._degraded = False
         self._fsck_report = None
 
@@ -443,7 +528,11 @@ class QCWarehouse:
             n_dims=self.table.n_dims,
             aggregate=self.aggregate.name,
             degraded=self._degraded,
+            serving="dict" if (not self._serve_frozen or self._degraded)
+            else "frozen",
         )
+        if self._cache is not None:
+            tree_stats["query_cache"] = self._cache.stats()
         return tree_stats
 
     def __repr__(self):

@@ -1,0 +1,188 @@
+"""Tests for the frozen read-optimized QC-tree representation.
+
+The frozen view must be *observationally identical* to the dict-backed
+tree it compiles from: same signature, same answers and node-access
+counts for every query kind, same protocol surface — only faster.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cells import ALL
+from repro.core.construct import build_qctree
+from repro.core.frozen import FrozenQCTree
+from repro.core.iceberg import MeasureIndex, constrained_iceberg, pure_iceberg
+from repro.core.point_query import locate, locate_generic, point_query
+from repro.core.qctree import tree_signature
+from repro.core.range_query import range_query
+from repro.core.serialize import dumps_qctree, loads_qctree
+from repro.errors import QueryError
+from tests.conftest import all_cells, approx_equal, make_random_table
+
+
+def _tree_pair(seed, aggregate=("sum", "m"), **kwargs):
+    table = make_random_table(seed, **kwargs)
+    tree = build_qctree(table, aggregate)
+    return table, tree, tree.freeze()
+
+
+class TestStructure:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_signature_matches_dict_tree(self, seed):
+        _, tree, frozen = _tree_pair(seed)
+        assert frozen.signature() == tree.signature()
+        assert tree_signature(frozen) == tree_signature(tree)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_counts_match(self, seed):
+        _, tree, frozen = _tree_pair(seed)
+        assert frozen.n_nodes == tree.n_nodes
+        assert frozen.n_links == tree.n_links
+        assert frozen.n_classes == tree.n_classes
+
+    def test_immutable(self):
+        _, _, frozen = _tree_pair(0)
+        with pytest.raises(TypeError):
+            frozen.root = 5
+        with pytest.raises(TypeError):
+            del frozen.root
+        with pytest.raises(TypeError):
+            frozen.brand_new_attribute = 1
+
+    def test_direct_construction_rejected(self):
+        with pytest.raises(TypeError):
+            FrozenQCTree()
+
+    def test_equivalent_to_both_directions(self):
+        _, tree, frozen = _tree_pair(4)
+        assert frozen.equivalent_to(tree)
+        assert tree.equivalent_to(frozen)
+
+    def test_class_upper_bounds_match(self):
+        _, tree, frozen = _tree_pair(5)
+        assert frozen.class_upper_bounds() == tree.class_upper_bounds()
+
+
+class TestPointParity:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_every_cell_and_every_count(self, seed):
+        """Answers AND node-access counts agree across the four walks:
+        {dict, frozen} x {generic protocol, representation fast path}."""
+        table, tree, frozen = _tree_pair(seed)
+        for cell in all_cells(table):
+            counters = [[0] for _ in range(4)]
+            answers = [
+                locate(tree, cell, counter=counters[0]),
+                locate_generic(tree, cell, counter=counters[1]),
+                locate(frozen, cell, counter=counters[2]),
+                locate_generic(frozen, cell, counter=counters[3]),
+            ]
+            bounds = {
+                None if node is None else t.upper_bound_of(node)
+                for node, t in zip(
+                    answers, (tree, tree, frozen, frozen)
+                )
+            }
+            assert len(bounds) == 1, (cell, answers)
+            assert len({c[0] for c in counters}) == 1, (cell, counters)
+            assert approx_equal(
+                point_query(tree, cell), point_query(frozen, cell)
+            )
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_hypothesis_workloads(self, seed):
+        table, tree, frozen = _tree_pair(
+            seed, aggregate="count", n_dims=3, cardinality=3, n_rows=8
+        )
+        for cell in all_cells(table):
+            assert point_query(tree, cell) == point_query(frozen, cell)
+
+    def test_odd_query_value_types(self):
+        """The int-key compression must not change lookup semantics for
+        non-int values: a float equal to a code matches (dict semantics),
+        anything else misses without raising."""
+        table, tree, frozen = _tree_pair(7, n_dims=2, cardinality=4,
+                                         n_rows=10)
+        probes = [3.0, 3.5, -1, 10**9, "x", True, None]
+        for probe in probes:
+            for other in (ALL, 0):
+                cell = (probe, other)
+                assert point_query(tree, cell) == point_query(frozen, cell), (
+                    cell
+                )
+
+    def test_wrong_arity_rejected(self):
+        _, _, frozen = _tree_pair(3, n_dims=3)
+        with pytest.raises(QueryError):
+            point_query(frozen, (ALL,))
+
+
+class TestRangeAndIcebergParity:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_range_queries_match(self, seed):
+        table, tree, frozen = _tree_pair(seed + 100)
+        rng = random.Random(seed)
+        for _ in range(5):
+            spec = []
+            for j in range(table.n_dims):
+                roll = rng.random()
+                cj = table.cardinality(j)
+                if roll < 0.3:
+                    spec.append(ALL)
+                else:
+                    spec.append(
+                        sorted(rng.sample(range(cj), min(cj, rng.randint(1, 3))))
+                    )
+            expected = range_query(tree, spec)
+            got = range_query(frozen, spec)
+            assert set(got) == set(expected)
+            for cell in got:
+                assert approx_equal(got[cell], expected[cell])
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_pure_iceberg_matches(self, seed):
+        _, tree, frozen = _tree_pair(seed + 200)
+        for threshold in (0, 5, 20):
+            assert pure_iceberg(frozen, threshold) == pure_iceberg(
+                tree, threshold
+            )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_constrained_iceberg_mark_and_filter(self, seed):
+        """Both iceberg strategies on the frozen tree equal the dict
+        tree's filter plan — 'mark' exercises the protocol iterators
+        (``iter_children_of``/``iter_links_of``) over the packed arrays."""
+        table, tree, frozen = _tree_pair(seed + 300)
+        spec = tuple(
+            [0] if j == 0 and table.cardinality(0) else ALL
+            for j in range(table.n_dims)
+        )
+        expected = constrained_iceberg(tree, spec, 5, strategy="filter")
+        for strategy in ("filter", "mark"):
+            index = (
+                MeasureIndex(frozen) if strategy == "mark" else None
+            )
+            got = constrained_iceberg(
+                frozen, spec, 5, strategy=strategy, index=index
+            )
+            assert got == expected
+
+
+class TestFreezeOnLoad:
+    def test_loads_with_freeze_returns_frozen(self):
+        _, tree, _ = _tree_pair(11)
+        text = dumps_qctree(tree, meta={"wal_lsn": 3})
+        loaded = loads_qctree(text, freeze=True)
+        assert isinstance(loaded, FrozenQCTree)
+        assert loaded.signature() == tree.signature()
+        assert loaded.snapshot_meta == {"wal_lsn": 3}
+
+    def test_loads_default_stays_mutable(self):
+        _, tree, _ = _tree_pair(11)
+        loaded = loads_qctree(dumps_qctree(tree))
+        assert not isinstance(loaded, FrozenQCTree)
+        assert loaded.signature() == tree.signature()

@@ -100,6 +100,44 @@ class TestAccessPattern:
             depth += 1
         assert depth == 1
 
+    def test_all_star_query_counts_the_root(self, sales_table):
+        """The uniform counting convention: every node the walk occupies
+        counts exactly once, including the starting root — an all-``*``
+        query used to report 0 accesses, which under-counted the work
+        relative to the per-step convention of the other walks."""
+        tree = build_qctree(sales_table, ("avg", "Sale"))
+        counter = [0]
+        node = locate(tree, (ALL, ALL, ALL), counter=counter)
+        assert node == tree.root
+        assert counter[0] == 1
+
+    def test_access_count_equals_walk_positions(self, sales_table):
+        """Total accesses == distinct positions on the root-to-class
+        walk: root, the two routed nodes of ``(S1, P2, s)``, and the
+        final forced descent are each one access."""
+        tree = build_qctree(sales_table, ("avg", "Sale"))
+        cell = sales_table.encode_cell(("S1", "P2", "s"))
+        counter = [0]
+        node = locate(tree, cell, counter=counter)
+        assert node is not None
+        depth = 0
+        cursor = node
+        while cursor != tree.root:
+            cursor = tree.parent[cursor]
+            depth += 1
+        assert counter[0] == depth + 1
+
+    def test_lemma2_fallback_counts_forced_nodes(self, sales_table):
+        """``(S2, *, f)`` routes S2 then needs Season=f, which S2's node
+        reaches through Lemma 2's forced descent — the forced
+        intermediate node must be counted like any other occupied node."""
+        tree = build_qctree(sales_table, ("avg", "Sale"))
+        cell = sales_table.encode_cell(("S2", "*", "f"))
+        counter = [0]
+        assert locate(tree, cell, counter=counter) is not None
+        # root + S2 + forced P-node + f node
+        assert counter[0] == 4
+
     @pytest.mark.parametrize("seed", range(5))
     def test_multi_aggregate_queries(self, seed):
         table = make_random_table(seed + 500)

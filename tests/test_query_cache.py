@@ -1,0 +1,172 @@
+"""Tests for the LSN-stamped query cache and its warehouse integration.
+
+The cache may only ever serve an answer computed at the warehouse's
+current serving version — any insert, delete, rebuild, recovery, or
+degraded-mode flip must atomically invalidate every cached entry.
+"""
+
+import pytest
+
+from repro.core.query_cache import MISS, LsnQueryCache
+from repro.core.warehouse import QCWarehouse
+from repro.cube.schema import Schema
+
+SCHEMA = Schema(dimensions=("Store", "Product", "Season"), measures=("Sale",))
+RECORDS = [
+    ("S1", "P1", "s", 6.0),
+    ("S1", "P2", "s", 12.0),
+    ("S2", "P1", "f", 9.0),
+]
+
+
+def make_wh(**kwargs):
+    return QCWarehouse.from_records(
+        RECORDS, SCHEMA, aggregate=("avg", "Sale"), **kwargs
+    )
+
+
+class TestCacheUnit:
+    def test_store_then_lookup(self):
+        cache = LsnQueryCache(maxsize=4)
+        cache.store("k", (1, 0), 42)
+        assert cache.lookup("k", (1, 0)) == 42
+
+    def test_miss_sentinel_is_not_none(self):
+        """None is a legitimate cached answer (an empty-cover cell); the
+        sentinel distinguishing it from absence must never leak."""
+        cache = LsnQueryCache(maxsize=4)
+        assert cache.lookup("k", (1, 0)) is MISS
+        cache.store("k", (1, 0), None)
+        assert cache.lookup("k", (1, 0)) is None
+
+    def test_stamp_change_invalidates_everything(self):
+        cache = LsnQueryCache(maxsize=8)
+        for i in range(4):
+            cache.store(i, (1, 0), i)
+        assert cache.lookup(2, (2, 0)) is MISS  # newer stamp: all stale
+        assert cache.lookup(3, (2, 0)) is MISS
+        assert cache.stats()["size"] <= 1
+
+    def test_lru_eviction_bounds_size(self):
+        cache = LsnQueryCache(maxsize=3)
+        stamp = (1, 0)
+        for i in range(10):
+            cache.store(i, stamp, i)
+        assert cache.stats()["size"] == 3
+        assert cache.lookup(9, stamp) == 9
+        assert cache.lookup(0, stamp) is MISS
+
+    def test_lookup_refreshes_recency(self):
+        cache = LsnQueryCache(maxsize=2)
+        stamp = (1, 0)
+        cache.store("a", stamp, 1)
+        cache.store("b", stamp, 2)
+        cache.lookup("a", stamp)     # "a" is now the most recent
+        cache.store("c", stamp, 3)   # evicts "b", not "a"
+        assert cache.lookup("a", stamp) == 1
+        assert cache.lookup("b", stamp) is MISS
+
+    def test_stats_hit_rate(self):
+        cache = LsnQueryCache(maxsize=4)
+        cache.store("k", (1, 0), 42)
+        cache.lookup("k", (1, 0))
+        cache.lookup("absent", (1, 0))
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+
+class TestWarehouseIntegration:
+    def test_repeat_query_hits_cache(self):
+        wh = make_wh()
+        assert wh.point(("S1", "*", "*")) == 9.0
+        assert wh.point(("S1", "*", "*")) == 9.0
+        stats = wh.stats()["query_cache"]
+        assert stats["hits"] == 1
+
+    def test_cached_none_for_empty_cells(self):
+        wh = make_wh()
+        assert wh.point(("S2", "*", "s")) is None
+        assert wh.point(("S2", "*", "s")) is None
+        assert wh.stats()["query_cache"]["hits"] == 1
+
+    def test_insert_invalidates(self):
+        wh = make_wh()
+        assert wh.point(("S1", "*", "*")) == 9.0
+        wh.insert([("S1", "P1", "w", 3.0)])
+        assert wh.point(("S1", "*", "*")) == 7.0
+
+    def test_delete_invalidates(self):
+        wh = make_wh()
+        assert wh.point(("S1", "*", "*")) == 9.0
+        wh.delete([("S1", "P2", "s", 12.0)])
+        assert wh.point(("S1", "*", "*")) == 6.0
+
+    def test_insert_invalidates_with_wal(self, tmp_path):
+        """With a WAL attached the stamp moves with the log position."""
+        wh = make_wh()
+        wh.attach_wal(tmp_path / "wh.wal")
+        assert wh.point(("S1", "*", "*")) == 9.0
+        wh.insert([("S1", "P1", "w", 3.0)])
+        assert wh.point(("S1", "*", "*")) == 7.0
+
+    def test_recovery_serves_post_replay_answers(self, tmp_path):
+        tree_path = tmp_path / "wh.qct"
+        table_path = tmp_path / "wh.csv"
+        wal_path = tmp_path / "wh.wal"
+        wh = make_wh()
+        wh.save(tree_path, table_path)
+        wh.attach_wal(wal_path)
+        wh.insert([("S1", "P1", "w", 3.0)])
+        # A crash here loses the in-memory tree; recovery replays the WAL.
+        recovered = QCWarehouse.recover(tree_path, wal_path, table_path,
+                                        SCHEMA)
+        assert recovered.point(("S1", "*", "*")) == 7.0
+        assert recovered.point(("S1", "*", "*")) == 7.0  # cached, same answer
+
+    def test_rebuild_invalidates(self):
+        wh = make_wh()
+        assert wh.point(("S1", "*", "*")) == 9.0
+        wh.rebuild()
+        assert wh.point(("S1", "*", "*")) == 9.0
+        # Post-rebuild answers were recomputed, not replayed from the
+        # pre-rebuild cache: the rebuild bumped the serving stamp.
+        assert wh.stats()["query_cache"]["invalidations"] >= 1
+
+    def test_degraded_mode_bypasses_cache(self):
+        wh = make_wh()
+        assert wh.point(("S2", "*", "f")) == 9.0  # now cached
+        victim = next(iter(wh.tree.iter_class_nodes()))
+        wh.tree.set_state(victim, (123456.0, 1))
+        report = wh.verify(samples=None)
+        assert not report.ok and wh.degraded
+        # Even previously-cached cells must come from the base table now.
+        assert wh.point(("S2", "*", "f")) == 9.0
+        wh.rebuild()
+        assert wh.verify(samples=None).ok
+        assert wh.point(("S2", "*", "f")) == 9.0
+
+    def test_cache_disabled(self):
+        wh = make_wh(cache_size=0)
+        assert wh.point(("S1", "*", "*")) == 9.0
+        assert "query_cache" not in wh.stats()
+
+    def test_unhashable_cell_matches_uncached_behavior(self):
+        """A label the encoder cannot hash fails identically with and
+        without the cache in front — the cache never masks (or adds)
+        errors, it only skips itself."""
+        wh = make_wh()
+        plain = make_wh(cache_size=0)
+        with pytest.raises(TypeError):
+            plain.point((["S1", "S9"], "*", "*"))
+        with pytest.raises(TypeError):
+            wh.point((["S1", "S9"], "*", "*"))
+
+    def test_dict_engine_answers_match(self):
+        frozen_wh = make_wh()
+        dict_wh = make_wh(serve_frozen=False)
+        for cell in (("S1", "*", "*"), ("*", "P2", "*"), ("S2", "*", "s")):
+            assert frozen_wh.point(cell) == dict_wh.point(cell)
+        assert dict_wh.stats()["serving"] == "dict"
+        assert frozen_wh.stats()["serving"] == "frozen"

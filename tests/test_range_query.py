@@ -101,3 +101,38 @@ class TestAgainstNaivePlan:
         tree = build_qctree(sales_table, ("avg", "Sale"))
         result = range_query(tree, ([0, 1], [99], ALL))
         assert result == {}
+
+
+class TestRawSpecTypes:
+    """``range_query_raw`` must accept every iterable RangeQuery does —
+    a ``range`` object used to fall through to the single-label branch
+    and silently match nothing."""
+
+    def test_range_object_behaves_like_list(self, seed=3):
+        table = make_random_table(seed, n_dims=3, cardinality=4, n_rows=10)
+        tree = build_qctree(table, ("sum", "m"))
+        via_range = range_query_raw(tree, table, (range(0, 3), "*", "*"))
+        via_list = range_query_raw(tree, table, ([0, 1, 2], "*", "*"))
+        assert via_range == via_list
+        assert via_range  # the domain prefix is never empty here
+
+    def test_range_object_in_warehouse_spec(self, sales_table):
+        from repro.core.warehouse import QCWarehouse
+
+        wh = QCWarehouse(sales_table, aggregate=("avg", "Sale"))
+        # Encoded store codes 0..1 == labels S1, S2.
+        spec_range = wh.range((["S1", "S2"], "*", "*"))
+        assert spec_range == {("S1", "*", "*"): 9.0, ("S2", "*", "*"): 9.0}
+
+    def test_all_unknown_labels_in_one_dim_is_empty(self, sales_table):
+        tree = build_qctree(sales_table, ("avg", "Sale"))
+        assert range_query_raw(
+            tree, sales_table, (["S1", "S2"], ["P9", "P10"], "*")
+        ) == {}
+
+    def test_partly_unknown_labels_pruned(self, sales_table):
+        tree = build_qctree(sales_table, ("avg", "Sale"))
+        result = range_query_raw(
+            tree, sales_table, (["S2", "S9"], "*", ["f", "x"])
+        )
+        assert result == {("S2", "*", "f"): 9.0}
