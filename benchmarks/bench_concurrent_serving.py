@@ -1,0 +1,191 @@
+"""Concurrent serving throughput — QCServer worker-pool scaling.
+
+Not a paper figure: this benchmark tracks the serving subsystem the
+repo adds on top of the paper's structure.  On the Figure-13 synthetic
+workload (Zipf point queries over the frozen QC-tree) it sweeps the
+worker-pool size and reports, per worker count:
+
+* **stalled series** — each request carries a fixed simulated
+  downstream/client I/O stall (a ``time.sleep`` that releases the GIL,
+  as socket writes would).  This is the serving-stack regime where a
+  worker pool pays off: N workers overlap N stalls, so throughput
+  should scale with the pool until the CPU share dominates.  The
+  acceptance bar (≥2× the single-worker throughput at 4 workers) is
+  asserted on this series.
+* **cpu series** — the same workload with no stall.  Under CPython's
+  GIL on a single core, pure-CPU request handling cannot exceed one
+  core no matter the pool size; this series is reported so the scaling
+  claim stays honest about what concurrency does and does not buy.
+* **mixed** — closed-loop reads with a concurrent snapshot-swapping
+  writer, showing reads proceeding (and the cache re-warming) while
+  writes publish.
+
+Results go to ``BENCH_concurrent.json`` at the repo root (committed,
+diffable PR over PR) and a table under ``benchmarks/results/``.
+``--quick`` (or ``REPRO_BENCH_QUICK=1``) scales down for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+
+from common import print_table, synth
+from repro.core.warehouse import QCWarehouse
+from repro.serving.server import QCServer
+from repro.serving.workload import (
+    point_requests,
+    register_stalled_point,
+    run_closed_loop,
+    run_mixed,
+)
+
+OUT_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_concurrent.json"
+)
+
+FULL = dict(n_rows=4000, n_dims=5, card=20, n_requests=1200,
+            workers=(1, 2, 4, 8), stall_us=2000, queue_size=512,
+            write_batches=16, write_batch_rows=8)
+QUICK = dict(n_rows=800, n_dims=5, card=20, n_requests=240,
+             workers=(1, 2, 4), stall_us=2000, queue_size=512,
+             write_batches=4, write_batch_rows=8)
+
+
+def _quick_from_env() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def _series_entry(workers, result) -> dict:
+    return {
+        "workers": workers,
+        "throughput_rps": result["throughput_rps"],
+        "p50_us": result["latency"]["p50_us"],
+        "p99_us": result["latency"]["p99_us"],
+        "ok": result["ok"],
+        "errors": result["errors"],
+    }
+
+
+def _run_series(make_warehouse, requests, config, stall_us) -> list:
+    """Closed-loop sweep over worker counts; clients match workers so
+    the offered concurrency tracks the pool size."""
+    series = []
+    for workers in config["workers"]:
+        warehouse = make_warehouse()
+        with QCServer(warehouse, workers=workers,
+                      queue_size=config["queue_size"],
+                      cache_size=0) as server:
+            reqs = requests
+            if stall_us:
+                op = register_stalled_point(server, stall_us / 1e6)
+                reqs = [(op, args) for _, args in requests]
+            result = run_closed_loop(server, reqs, clients=workers)
+            assert result["errors"] == 0, result
+            series.append(_series_entry(workers, result))
+    return series
+
+
+def measure(config) -> dict:
+    table = synth(n_rows=config["n_rows"], n_dims=config["n_dims"],
+                  card=config["card"])
+
+    def make_warehouse():
+        return QCWarehouse(table, aggregate="count", cache_size=0)
+
+    requests = point_requests(table, config["n_requests"], seed=7)
+
+    stalled = _run_series(make_warehouse, requests, config,
+                          config["stall_us"])
+    cpu = _run_series(make_warehouse, requests, config, stall_us=0)
+
+    # Mixed read/write: a writer stream of insert batches publishing
+    # snapshot swaps while closed-loop readers keep going.
+    warehouse = make_warehouse()
+    batches = [
+        ("insert", [(f"w{b}",) * table.n_dims + (1.0,)
+                    for _ in range(config["write_batch_rows"])])
+        for b in range(config["write_batches"])
+    ]
+    with QCServer(warehouse, workers=4, queue_size=config["queue_size"],
+                  cache_size=4096) as server:
+        mixed = run_mixed(server, requests, clients=4,
+                          write_batches=batches)
+        mixed_stats = server.stats()
+    leaked = [t.name for t in threading.enumerate()
+              if t.name.startswith("qcserver")]
+
+    base_stalled = stalled[0]["throughput_rps"]
+    at4 = next((e for e in stalled if e["workers"] == 4), stalled[-1])
+    return {
+        "config": dict(config, workers=list(config["workers"])),
+        "read_only": {"stalled": stalled, "cpu": cpu},
+        "scaling_at_4_workers": round(
+            at4["throughput_rps"] / base_stalled, 3
+        ) if base_stalled else 0.0,
+        "mixed": {
+            "throughput_rps": mixed["throughput_rps"],
+            "p50_us": mixed["latency"]["p50_us"],
+            "p99_us": mixed["latency"]["p99_us"],
+            "ok": mixed["ok"],
+            "errors": mixed["errors"],
+            "writes": mixed["writes"],
+            "snapshot_swaps":
+                mixed_stats["counters"]["snapshot_swaps"],
+            "cache_hit_rate": mixed_stats["cache"]["hit_rate"],
+        },
+        "leaked_threads": leaked,
+    }
+
+
+def report(results, out_path=OUT_PATH) -> None:
+    with open(out_path, "w") as fp:
+        json.dump(results, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    rows = []
+    for entry in results["read_only"]["stalled"]:
+        rows.append(["stalled", entry["workers"], entry["throughput_rps"],
+                     entry["p50_us"], entry["p99_us"]])
+    for entry in results["read_only"]["cpu"]:
+        rows.append(["cpu", entry["workers"], entry["throughput_rps"],
+                     entry["p50_us"], entry["p99_us"]])
+    mixed = results["mixed"]
+    rows.append(["mixed(4w)", 4, mixed["throughput_rps"],
+                 mixed["p50_us"], mixed["p99_us"]])
+    print_table(
+        "Concurrent serving: throughput vs worker count",
+        ["series", "workers", "rps", "p50 (us)", "p99 (us)"],
+        rows,
+        result_file="concurrent_serving.txt",
+    )
+
+
+def test_concurrent_serving_report(benchmark):
+    config = QUICK if _quick_from_env() else FULL
+    results = benchmark.pedantic(measure, args=(config,),
+                                 rounds=1, iterations=1)
+    report(results)
+    # Worker-pool scaling on the I/O-stalled regime: the acceptance bar.
+    assert results["scaling_at_4_workers"] >= 2.0
+    # Readers kept answering while the writer published swaps.
+    mixed = results["mixed"]
+    assert mixed["errors"] == 0
+    assert mixed["ok"] == results["config"]["n_requests"]
+    assert mixed["snapshot_swaps"] == results["config"]["write_batches"]
+    # Clean shutdown: the benchmark must not leak server threads.
+    assert results["leaked_threads"] == []
+
+
+def main(argv=None) -> int:
+    quick = _quick_from_env() or (argv is not None and "--quick" in argv) \
+        or "--quick" in sys.argv[1:]
+    results = measure(QUICK if quick else FULL)
+    report(results)
+    print(f"wrote {os.path.abspath(OUT_PATH)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,9 +11,27 @@ pipeline can be driven from the shell::
     python -m repro iceberg sales.qct --table sales.csv --threshold 9
     python -m repro fsck sales.qct --table sales.csv
     python -m repro dump sales.qct --table sales.csv
+    python -m repro serve sales.qct --table sales.csv --workers 4
+    python -m repro bench-serve sales.qct --table sales.csv --workers 4
 
 Cells use ``,`` between dimensions and ``*`` for ALL; range dimensions
 separate candidate values with ``|``.
+
+``serve`` starts a :class:`~repro.serving.server.QCServer` and speaks a
+line protocol on stdin/stdout (one request per line, one response per
+request), so a shell, a pipe, or an inetd-style wrapper can drive the
+concurrent warehouse::
+
+    point S2,*,f
+    range S1|S2,*,f
+    iceberg 9 >=
+    rollup S2,P1,f
+    insert S3,P1,s,5.0
+    stats
+    quit
+
+``bench-serve`` drives a closed-loop (or, with ``--rate``, open-loop)
+point-query workload through the server and prints a JSON report.
 
 Exit status: 0 on success, 1 on any error (bad input, missing or
 corrupt files), 2 when ``fsck`` finds corruption.
@@ -133,6 +151,152 @@ def cmd_dump(args) -> int:
     return 0
 
 
+def _coerce_record(warehouse, fields) -> tuple:
+    """CLI fields for an insert/delete record: measure positions (after
+    the dimensions) become floats when they parse as such."""
+    n_dims = warehouse.table.n_dims
+    record = list(fields[:n_dims])
+    for value in fields[n_dims:]:
+        try:
+            record.append(float(value))
+        except ValueError:
+            record.append(value)
+    return tuple(record)
+
+
+def _serve_dispatch(server, warehouse, line, out) -> bool:
+    """Handle one ``serve`` protocol line; False means quit."""
+    import json
+
+    parts = line.split(None, 1)
+    command, rest = parts[0], (parts[1].strip() if len(parts) > 1 else "")
+    if command in ("quit", "exit"):
+        return False
+    if command == "stats":
+        print(json.dumps(server.stats(), sort_keys=True), file=out, flush=True)
+        return True
+    if command in ("insert", "delete"):
+        record = _coerce_record(warehouse, parse_cell(rest))
+        getattr(server, command)([record])
+        print("OK", file=out, flush=True)
+        return True
+    if command == "point":
+        value = server.point(parse_cell(rest))
+        print("NULL" if value is None else value, file=out, flush=True)
+        return True
+    if command == "range":
+        results = server.range(parse_range(rest))
+        for cell, value in sorted(results.items()):
+            print(f"{','.join(map(str, cell))}\t{value}", file=out)
+        print(f"# {len(results)} cells", file=out, flush=True)
+        return True
+    if command == "iceberg":
+        fields = rest.split()
+        threshold = float(fields[0])
+        op = fields[1] if len(fields) > 1 else ">="
+        for ub, value in server.iceberg(threshold, op=op):
+            print(f"{','.join(map(str, ub))}\t{value}", file=out)
+        print("# end", file=out, flush=True)
+        return True
+    if command in ("rollup", "rollups", "drilldowns", "rollup_exceptions"):
+        views = server.query(command, parse_cell(rest))
+        for ub, value in views:
+            print(f"{','.join(map(str, ub))}\t{value}", file=out)
+        print(f"# {len(views)} classes", file=out, flush=True)
+        return True
+    if command == "class":
+        answer = server.query("class_of", parse_cell(rest))
+        if answer is None:
+            print("NULL", file=out, flush=True)
+        else:
+            ub, value = answer
+            print(f"{','.join(map(str, ub))}\t{value}", file=out, flush=True)
+        return True
+    if command == "open":
+        structure = server.query("open_class", parse_cell(rest))
+        print(json.dumps(
+            {
+                "upper_bound": list(structure["upper_bound"]),
+                "lower_bounds": [list(lb) for lb in
+                                 structure["lower_bounds"]],
+                "members": [list(m) for m in structure["members"]],
+                "value": structure["value"],
+            },
+            sort_keys=True,
+        ), file=out, flush=True)
+        return True
+    print(f"error: unknown command {command!r}", file=out, flush=True)
+    return True
+
+
+def cmd_serve(args) -> int:
+    from repro.serving.server import QCServer
+
+    warehouse = _load_warehouse(args)
+    server = QCServer(
+        warehouse, workers=args.workers, queue_size=args.queue_size,
+        default_timeout=args.timeout, cache_size=args.cache_size,
+    )
+    stats = warehouse.stats()
+    print(
+        f"serving {args.tree}: {stats['classes']} classes, "
+        f"{args.workers} workers, queue {args.queue_size} "
+        f"(point/range/iceberg/rollup/…; 'quit' to stop)",
+        file=sys.stderr,
+    )
+    try:
+        for raw_line in sys.stdin:
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                if not _serve_dispatch(server, warehouse, line, sys.stdout):
+                    break
+            except ReproError as exc:
+                print(f"error: {exc}", file=sys.stdout, flush=True)
+    finally:
+        server.close()
+    return 0
+
+
+def cmd_bench_serve(args) -> int:
+    import json
+
+    from repro.serving.server import QCServer
+    from repro.serving.workload import (
+        point_requests,
+        register_stalled_point,
+        run_closed_loop,
+        run_mixed,
+        run_open_loop,
+    )
+
+    warehouse = _load_warehouse(args)
+    requests = point_requests(warehouse.table, args.requests, seed=7)
+    with QCServer(warehouse, workers=args.workers,
+                  queue_size=args.queue_size,
+                  default_timeout=args.timeout) as server:
+        if args.stall_us:
+            op = register_stalled_point(server, args.stall_us / 1e6)
+            requests = [(op, a) for _, a in requests]
+        if args.rate:
+            result = run_open_loop(server, requests, args.rate,
+                                   timeout=args.timeout)
+        elif args.writes:
+            record = next(warehouse.table.iter_records())
+            batches = [("insert", [record]), ("delete", [record])]
+            result = run_mixed(server, requests, clients=args.clients,
+                               write_batches=batches * args.writes,
+                               timeout=args.timeout)
+        else:
+            result = run_closed_loop(server, requests,
+                                     clients=args.clients,
+                                     timeout=args.timeout)
+        result["server"] = server.stats()
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_fsck(args) -> int:
     tree = load_qctree_from(args.tree)
     table = None
@@ -199,6 +363,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_dump = with_table(sub.add_parser("dump", help="pretty-print the tree"))
     p_dump.set_defaults(func=cmd_dump)
+
+    def with_server(p):
+        with_table(p)
+        p.add_argument("--workers", type=int, default=4,
+                       help="reader worker threads (default 4)")
+        p.add_argument("--queue-size", type=int, default=128,
+                       help="admission queue bound (default 128)")
+        p.add_argument("--timeout", type=float, default=None,
+                       help="per-request deadline in seconds (default none)")
+        return p
+
+    p_serve = with_server(sub.add_parser(
+        "serve",
+        help="serve queries over stdin/stdout through a QCServer",
+    ))
+    p_serve.add_argument("--cache-size", type=int, default=4096,
+                         help="LSN-stamped result cache entries (default "
+                              "4096; 0 disables)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_bench = with_server(sub.add_parser(
+        "bench-serve",
+        help="drive a point-query workload through a QCServer and "
+             "print a JSON report",
+    ))
+    p_bench.add_argument("--requests", type=int, default=2000,
+                         help="number of point requests (default 2000)")
+    p_bench.add_argument("--clients", type=int, default=4,
+                         help="closed-loop client threads (default 4)")
+    p_bench.add_argument("--rate", type=float, default=None,
+                         help="open-loop arrival rate in req/s "
+                              "(default: closed loop)")
+    p_bench.add_argument("--stall-us", type=float, default=0.0,
+                         help="simulated per-request downstream I/O stall "
+                              "in microseconds (default 0)")
+    p_bench.add_argument("--writes", type=int, default=0,
+                         help="concurrent insert+delete write pairs to "
+                              "apply during the run (default 0)")
+    p_bench.set_defaults(func=cmd_bench_serve)
 
     p_fsck = sub.add_parser(
         "fsck", help="verify a saved tree's invariants (exit 2 on corruption)"

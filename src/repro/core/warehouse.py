@@ -21,20 +21,17 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.construct import build_qctree
-from repro.core.explore import (
-    class_of,
-    drill_into_class,
-    intelligent_rollup,
-    lattice_drilldowns,
-    lattice_rollups,
-    rollup_exceptions,
-)
-from repro.core.iceberg import MeasureIndex, constrained_iceberg, pure_iceberg
+from repro.core.iceberg import MeasureIndex
 from repro.core.maintenance.delete import apply_deletions
 from repro.core.maintenance.insert import apply_insertions
-from repro.core.point_query import point_query_raw
-from repro.core.query_cache import MISS, LsnQueryCache
-from repro.core.range_query import range_query_raw
+from repro.core.query_cache import (
+    MISS,
+    LsnQueryCache,
+    constrained_iceberg_cache_key,
+    iceberg_cache_key,
+    point_cache_key,
+    range_cache_key,
+)
 from repro.core.serialize import load_qctree_from, save_qctree
 from repro.cube.aggregates import make_aggregate
 from repro.cube.schema import Schema
@@ -42,6 +39,7 @@ from repro.cube.table import BaseTable, csv_comment
 from repro.errors import MaintenanceError, QueryError, SchemaError
 from repro.reliability.fsck import fsck_tree, scan_point_query
 from repro.reliability.wal import WriteAheadLog
+from repro.serving.snapshot import ServingSnapshot
 
 
 def _stamped_lsn(meta) -> int:
@@ -85,7 +83,6 @@ class QCWarehouse:
         self.table = table
         self.aggregate = make_aggregate(aggregate)
         self.tree = tree if tree is not None else build_qctree(table, self.aggregate)
-        self._index: Optional[MeasureIndex] = None
         self._index_key = index_key
         self.wal: Optional[WriteAheadLog] = wal
         self._degraded = False
@@ -93,6 +90,7 @@ class QCWarehouse:
         self.last_recovery: Optional[dict] = None
         self._serve_frozen = serve_frozen
         self._frozen = None
+        self._view: Optional[ServingSnapshot] = None
         self._cache = LsnQueryCache(cache_size) if cache_size else None
         self._epoch = 0
 
@@ -120,7 +118,7 @@ class QCWarehouse:
             self._frozen = self.tree.freeze()
         return self._frozen
 
-    def _serving_stamp(self) -> tuple:
+    def serving_stamp(self) -> tuple:
         """The logical version cached answers are valid at.
 
         ``(WAL LSN, mutation epoch)``: the LSN covers logged maintenance
@@ -130,40 +128,71 @@ class QCWarehouse:
         lsn = self.wal.last_lsn if self.wal is not None else 0
         return (lsn, self._epoch)
 
+    @property
+    def view(self) -> ServingSnapshot:
+        """The :class:`ServingSnapshot` queries delegate to right now.
+
+        Rebuilt lazily after each mutation over :attr:`serving_tree`, so
+        every query family — point, range, iceberg, *and* the semantic
+        exploration API — runs on the frozen view while healthy.
+        """
+        if self._view is None:
+            self._view = self.snapshot_view()
+        return self._view
+
+    def snapshot_view(self) -> ServingSnapshot:
+        """A fresh immutable snapshot of the current serving state.
+
+        This is the publication point the concurrent server
+        (:class:`~repro.serving.server.QCServer`) swaps into place after
+        each mutation; the snapshot shares no mutable structure with the
+        warehouse as long as the warehouse serves frozen.
+        """
+        return ServingSnapshot(
+            self.serving_tree, self.table, self.aggregate,
+            stamp=self.serving_stamp(), index_key=self._index_key,
+        )
+
     def _mutated(self) -> None:
         """Invalidate every read-path structure after a tree change."""
-        self._index = None
         self._frozen = None
+        self._view = None
         self._epoch += 1
+
+    def _cached(self, key, compute, copy=None):
+        """Serve ``compute()`` through the stamped query cache.
+
+        ``key`` of None (query not normalizable) bypasses the cache, as
+        does a disabled cache or degraded mode.  ``copy`` (e.g. ``dict``
+        / ``list``) guards mutable cached results: both the hit and the
+        fill path return a private copy, so a caller mutating its answer
+        can never poison the cache.
+        """
+        cache = self._cache
+        if cache is None or key is None or self._degraded:
+            return compute()
+        stamp = self.serving_stamp()
+        value = cache.lookup(key, stamp)
+        if value is MISS:
+            value = compute()
+            cache.store(key, stamp, value)
+        return value if copy is None else copy(value)
 
     def point(self, raw_cell):
         """Point query with raw labels (``"*"`` / None / ALL for any).
 
         Served from the query cache when a fresh answer for the cell is
-        present, else from :attr:`serving_tree`.  A degraded warehouse
-        (one whose tree failed :meth:`verify`) answers by scanning the
-        base table instead of routing through the possibly-corrupt tree
-        — slower, but never wrong — and bypasses the cache entirely.
+        present, else from the :attr:`view` over :attr:`serving_tree`.
+        A degraded warehouse (one whose tree failed :meth:`verify`)
+        answers by scanning the base table instead of routing through
+        the possibly-corrupt tree — slower, but never wrong — and
+        bypasses the cache entirely.
         """
         if self._degraded:
             return self._scan_point(raw_cell)
-        cache = self._cache
-        if cache is None:
-            return point_query_raw(self.serving_tree, self.table, raw_cell)
-        try:
-            key = tuple(raw_cell)
-        except TypeError:
-            return point_query_raw(self.serving_tree, self.table, raw_cell)
-        stamp = self._serving_stamp()
-        try:
-            value = cache.lookup(key, stamp)
-        except TypeError:  # unhashable label inside the cell
-            return point_query_raw(self.serving_tree, self.table, raw_cell)
-        if value is not MISS:
-            return value
-        value = point_query_raw(self.serving_tree, self.table, raw_cell)
-        cache.store(key, stamp, value)
-        return value
+        return self._cached(
+            point_cache_key(raw_cell), lambda: self.view.point(raw_cell)
+        )
 
     def _scan_point(self, raw_cell):
         if len(raw_cell) != self.table.n_dims:
@@ -178,66 +207,50 @@ class QCWarehouse:
         return scan_point_query(self.table, self.aggregate, cell)
 
     def range(self, raw_spec) -> dict:
-        """Range query with raw labels; returns ``{decoded cell: value}``."""
-        return range_query_raw(self.serving_tree, self.table, raw_spec)
+        """Range query with raw labels; returns ``{decoded cell: value}``.
+
+        Cached under a normalized spec key — equivalent scalar/list/set/
+        ``range`` spellings of the same query share one entry — at the
+        current serving stamp, so any mutation invalidates it.
+        """
+        return self._cached(
+            range_cache_key(raw_spec),
+            lambda: self.view.range(raw_spec),
+            copy=dict,
+        )
 
     def iceberg(self, threshold, op: str = ">=") -> list:
         """Pure iceberg query: classes whose aggregate clears the threshold.
 
-        Returns ``[(decoded upper bound, value), ...]``.
+        Returns ``[(decoded upper bound, value), ...]``; cached at the
+        current serving stamp like :meth:`range`.
         """
-        tree = self.serving_tree
-        classes = pure_iceberg(tree, threshold, op=op, index=self.index)
-        return [(self.table.decode_cell(ub), value) for ub, value in classes]
+        return self._cached(
+            iceberg_cache_key(threshold, op),
+            lambda: self.view.iceberg(threshold, op=op),
+            copy=list,
+        )
 
     def iceberg_in_range(self, raw_spec, threshold, op: str = ">=",
                          strategy: str = "filter") -> dict:
         """Constrained iceberg query; returns ``{decoded cell: value}``."""
-        encoded = self._encode_range(raw_spec)
-        if encoded is None:
-            return {}
-        results = constrained_iceberg(
-            self.serving_tree, encoded, threshold, op=op, strategy=strategy,
-            index=self.index if strategy == "mark" else None,
-            key=self._index_key,
+        return self._cached(
+            constrained_iceberg_cache_key(raw_spec, threshold, op, strategy),
+            lambda: self.view.iceberg_in_range(
+                raw_spec, threshold, op=op, strategy=strategy
+            ),
+            copy=dict,
         )
-        return {self.table.decode_cell(c): v for c, v in results.items()}
-
-    def _encode_range(self, raw_spec):
-        from repro.core.cells import ALL
-
-        encoded = []
-        for dim, entry in enumerate(raw_spec):
-            if entry is ALL or entry is None or entry == "*":
-                encoded.append(ALL)
-                continue
-            values = (
-                entry
-                if isinstance(entry, (list, tuple, set, frozenset, range))
-                else [entry]
-            )
-            codes = []
-            for value in values:
-                try:
-                    codes.append(self.table.encode_value(dim, value))
-                except SchemaError:
-                    continue
-            if not codes:
-                return None
-            encoded.append(codes)
-        return encoded
 
     @property
     def index(self) -> MeasureIndex:
         """The measure index, (re)built lazily after updates.
 
-        Indexed over :attr:`serving_tree` — the node ids it stores must
+        Owned by the serving :attr:`view` — the node ids it stores must
         belong to the representation queries traverse (the mark strategy
         intersects them with live walk positions).
         """
-        if self._index is None:
-            self._index = MeasureIndex(self.serving_tree, key=self._index_key)
-        return self._index
+        return self.view.index
 
     # -- maintenance ------------------------------------------------------------
 
@@ -313,50 +326,34 @@ class QCWarehouse:
 
     # -- exploration ------------------------------------------------------------
 
+    # All exploration runs through the serving view (the frozen tree
+    # while healthy): the shared traversal protocol makes the dict and
+    # frozen representations answer identically, so these are thin
+    # delegations — see :class:`~repro.serving.snapshot.ServingSnapshot`.
+
     def class_of(self, raw_cell):
         """The class containing a cell: ``(decoded upper bound, value)``."""
-        view = class_of(self.tree, self.table.encode_cell(raw_cell))
-        if view is None:
-            return None
-        return self.table.decode_cell(view.upper_bound), view.value
+        return self.view.class_of(raw_cell)
 
     def rollup(self, raw_cell) -> list:
         """Intelligent roll-up: most general contexts with the same value."""
-        views = intelligent_rollup(self.tree, self.table.encode_cell(raw_cell))
-        return [(self.table.decode_cell(v.upper_bound), v.value) for v in views]
+        return self.view.rollup(raw_cell)
 
     def rollup_exceptions(self, raw_cell) -> list:
         """Classes inside the roll-up region that break the value."""
-        views = rollup_exceptions(self.tree, self.table.encode_cell(raw_cell))
-        return [(self.table.decode_cell(v.upper_bound), v.value) for v in views]
+        return self.view.rollup_exceptions(raw_cell)
 
     def drilldowns(self, raw_cell) -> list:
         """One-step drill-down classes from a cell's class."""
-        views = lattice_drilldowns(
-            self.tree, self.table.encode_cell(raw_cell), self.table
-        )
-        return [(self.table.decode_cell(v.upper_bound), v.value) for v in views]
+        return self.view.drilldowns(raw_cell)
 
     def rollups(self, raw_cell) -> list:
         """One-step roll-up classes from a cell's class."""
-        views = lattice_rollups(
-            self.tree, self.table.encode_cell(raw_cell), self.table
-        )
-        return [(self.table.decode_cell(v.upper_bound), v.value) for v in views]
+        return self.view.rollups(raw_cell)
 
     def open_class(self, raw_cell):
         """Drill into a class: upper bound, lower bounds, members (decoded)."""
-        structure = drill_into_class(
-            self.tree, self.table.encode_cell(raw_cell), self.table
-        )
-        return {
-            "upper_bound": self.table.decode_cell(structure.upper_bound),
-            "lower_bounds": [
-                self.table.decode_cell(lb) for lb in structure.lower_bounds
-            ],
-            "members": [self.table.decode_cell(m) for m in structure.members],
-            "value": structure.value,
-        }
+        return self.view.open_class(raw_cell)
 
     # -- persistence ---------------------------------------------------------------
 
@@ -521,15 +518,23 @@ class QCWarehouse:
     # -- reporting -------------------------------------------------------------------
 
     def stats(self) -> dict:
-        """Summary counts for the warehouse and its tree."""
+        """Summary counts for the warehouse and its tree.
+
+        Includes the serving stamp (WAL LSN + mutation epoch + whether
+        the frozen view is serving) and the query cache's hit/miss/
+        eviction counters, so operators can see cache health and the
+        serving version without poking private attributes.
+        """
         tree_stats = self.tree.stats()
+        frozen = self._serve_frozen and not self._degraded
+        lsn, epoch = self.serving_stamp()
         tree_stats.update(
             n_rows=self.table.n_rows,
             n_dims=self.table.n_dims,
             aggregate=self.aggregate.name,
             degraded=self._degraded,
-            serving="dict" if (not self._serve_frozen or self._degraded)
-            else "frozen",
+            serving="frozen" if frozen else "dict",
+            serving_stamp={"lsn": lsn, "epoch": epoch, "frozen": frozen},
         )
         if self._cache is not None:
             tree_stats["query_cache"] = self._cache.stats()

@@ -33,6 +33,27 @@ class SerializationError(ReproError):
     """Raised when loading a QC-tree from a corrupt or incompatible stream."""
 
 
+class ServingError(ReproError):
+    """Base class for errors raised by the concurrent serving subsystem."""
+
+
+class ServerOverloadedError(ServingError):
+    """Raised when the admission queue is full and a request is shed.
+
+    Load shedding happens at admission time, so an overloaded server
+    fails fast instead of queueing work it cannot finish in time.
+    """
+
+
+class DeadlineExceededError(ServingError):
+    """Raised when a request's deadline passed before a worker ran it."""
+
+
+class ServerClosedError(ServingError):
+    """Raised when a request is submitted to (or stranded in) a server
+    that has shut down."""
+
+
 class RecoveryError(ReproError):
     """Raised when crash recovery cannot proceed.
 

@@ -1,0 +1,40 @@
+"""Concurrent serving subsystem for QC-tree warehouses.
+
+Turns a :class:`~repro.core.warehouse.QCWarehouse` into a concurrent
+query service: a :class:`~repro.serving.server.QCServer` fans point /
+range / iceberg / exploration requests across a pool of worker threads
+that read lock-free from an atomically swapped
+:class:`~repro.serving.snapshot.ServingSnapshot`, while a single-writer
+mutation path applies maintenance to the dict tree, refreezes off the
+read path, and publishes the result — readers never block on writers.
+Production trimmings live alongside: a bounded admission queue with
+load shedding and per-request deadlines
+(:mod:`~repro.serving.admission`), a metrics registry
+(:mod:`~repro.serving.metrics`), and closed-/open-loop workload drivers
+(:mod:`~repro.serving.workload`) used by ``python -m repro bench-serve``
+and the concurrent-serving benchmark.
+"""
+
+from repro.serving.admission import AdmissionQueue, Request
+from repro.serving.metrics import LatencyHistogram, ServerMetrics
+from repro.serving.server import QCServer
+from repro.serving.snapshot import ServingSnapshot
+from repro.serving.workload import (
+    register_stalled_point,
+    run_closed_loop,
+    run_mixed,
+    run_open_loop,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "LatencyHistogram",
+    "QCServer",
+    "Request",
+    "ServerMetrics",
+    "ServingSnapshot",
+    "register_stalled_point",
+    "run_closed_loop",
+    "run_mixed",
+    "run_open_loop",
+]

@@ -1,0 +1,107 @@
+"""Admission control: the bounded request queue in front of the workers.
+
+Two policies keep an overloaded server predictable instead of slow:
+
+* **Load shedding** — the queue is bounded; when it is full,
+  :meth:`AdmissionQueue.offer` refuses immediately and the server raises
+  :class:`~repro.errors.ServerOverloadedError` to the caller.  Failing
+  fast at admission costs one queue probe; accepting work that cannot
+  finish in time costs a worker slot *and* still fails the caller.
+* **Deadlines** — each request may carry an absolute deadline (monotonic
+  clock).  Workers check it when they dequeue: a request that waited
+  past its deadline is answered with
+  :class:`~repro.errors.DeadlineExceededError` without executing, so a
+  burst drains at queue speed rather than at service speed.
+
+The queue itself is a plain ``deque`` under one condition variable —
+FIFO, no priorities — because fairness between readers is the property
+the stress tests rely on, and anything smarter belongs in a later
+scheduling PR.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Request:
+    """One admitted unit of work: an operation plus its bookkeeping.
+
+    ``deadline`` is an absolute :func:`time.monotonic` instant (None =
+    no deadline); ``future`` carries the answer back to the caller.
+    """
+
+    op: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    future: object = None
+    deadline: Optional[float] = None
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """True when the deadline passed (never true without one)."""
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) > self.deadline
+
+
+class AdmissionQueue:
+    """Bounded FIFO handoff between admission and the worker pool."""
+
+    def __init__(self, maxsize: int):
+        if maxsize <= 0:
+            raise ValueError(f"queue maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._items: deque = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def depth(self) -> int:
+        """Requests currently waiting (the queue-depth gauge)."""
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def offer(self, request: Request) -> bool:
+        """Admit ``request`` if there is room; False means *shed it*.
+
+        Raises ``RuntimeError`` after :meth:`close` — submitting to a
+        closed queue is a server-lifecycle bug the caller maps to
+        :class:`~repro.errors.ServerClosedError`.
+        """
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            if len(self._items) >= self.maxsize:
+                return False
+            self._items.append(request)
+            self._cond.notify()
+            return True
+
+    def take(self, timeout: Optional[float] = None) -> Optional[Request]:
+        """Block for the next request; None means closed-and-drained
+        (or ``timeout`` elapsed), telling a worker to exit/retry."""
+        with self._cond:
+            while not self._items:
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+            return self._items.popleft()
+
+    def close(self) -> list:
+        """Stop admissions, wake every waiting worker, and return the
+        stranded requests so the server can fail their futures."""
+        with self._cond:
+            self._closed = True
+            stranded = list(self._items)
+            self._items.clear()
+            self._cond.notify_all()
+        return stranded

@@ -1,0 +1,382 @@
+"""``QCServer`` — a concurrent query server over a QC-tree warehouse.
+
+The paper positions the QC-tree as a summary structure for *online*
+semantic OLAP; this module supplies the online part.  The design has
+exactly one shared mutable reference:
+
+* **Readers** (a pool of worker threads) drain a bounded admission
+  queue.  Each request grabs the current
+  :class:`~repro.serving.snapshot.ServingSnapshot` reference *once* and
+  answers entirely from it — the snapshot is immutable, so readers take
+  no locks on the tree and never block on writers.
+* **The writer** (callers of :meth:`QCServer.insert` / ``delete`` /
+  ``modify``, serialized by one lock) applies maintenance to the
+  mutable dict tree, refreezes it *off the read path*, and publishes
+  the result by assigning the snapshot reference — an atomic swap.  A
+  reader sees either the pre- or the post-mutation snapshot, never a
+  mix: that is the linearizable-snapshot-read guarantee the stress
+  tests assert.
+
+Admission control (bounded queue, load shedding, per-request
+deadlines) lives in :mod:`~repro.serving.admission`; request metrics in
+:mod:`~repro.serving.metrics`.  Cacheable answers (point / range /
+iceberg) are memoized in an :class:`~repro.core.query_cache.
+LsnQueryCache` keyed by the snapshot's stamp, so a snapshot swap
+implicitly invalidates every cached answer.
+
+The op table is extensible: later scaling PRs (sharding, async
+transports, multi-backend) plug in via :meth:`QCServer.register_op`
+without touching the worker loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Optional
+
+from repro.core.query_cache import (
+    MISS,
+    LsnQueryCache,
+    constrained_iceberg_cache_key,
+    iceberg_cache_key,
+    point_cache_key,
+    range_cache_key,
+)
+from repro.errors import (
+    DeadlineExceededError,
+    QueryError,
+    ServerClosedError,
+    ServerOverloadedError,
+    ServingError,
+)
+from repro.serving.admission import AdmissionQueue, Request
+from repro.serving.metrics import ServerMetrics
+
+#: Snapshot methods exposed as server operations out of the box.
+SNAPSHOT_OPS = (
+    "point", "range", "iceberg", "iceberg_in_range",
+    "class_of", "rollup", "rollups", "rollup_exceptions",
+    "drilldowns", "open_class",
+)
+
+#: Copy constructor applied to cached answers of mutable result types,
+#: so a caller mutating its answer cannot poison the cache.
+_CACHE_COPY = {"range": dict, "iceberg": list, "iceberg_in_range": dict}
+
+
+def _snapshot_op(name):
+    def call(snapshot, *args, **kwargs):
+        return getattr(snapshot, name)(*args, **kwargs)
+
+    call.__name__ = f"op_{name}"
+    return call
+
+
+class QCServer:
+    """Multi-worker query service over a frozen-serving warehouse.
+
+    >>> server = QCServer(warehouse, workers=4)
+    >>> server.submit("point", ("S2", "*", "f")).result()
+    9.0
+    >>> server.insert([("S3", "P1", "s", 5.0)])   # snapshot-swap write
+    >>> server.close()
+
+    Parameters
+    ----------
+    warehouse:
+        A :class:`~repro.core.warehouse.QCWarehouse` serving frozen
+        (the default).  The server owns its mutation path: apply writes
+        through the server, not the warehouse, while serving.
+    workers:
+        Reader threads.  They are deliberately *non-daemon*: a clean
+        :meth:`close` must leave no background threads behind (CI
+        enforces this).
+    queue_size:
+        Admission-queue bound; submissions beyond it are shed with
+        :class:`~repro.errors.ServerOverloadedError`.
+    default_timeout:
+        Default per-request deadline in seconds (None = no deadline),
+        overridable per call via ``submit(..., timeout=...)``.
+    cache_size:
+        Server-side stamped query cache (0 disables it).
+    """
+
+    def __init__(self, warehouse, workers: int = 4, queue_size: int = 128,
+                 default_timeout: Optional[float] = None,
+                 cache_size: int = 4096, name: str = "qcserver"):
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.warehouse = warehouse
+        self.default_timeout = default_timeout
+        self.name = name
+        self._ops = {op: _snapshot_op(op) for op in SNAPSHOT_OPS}
+        self._metrics = ServerMetrics()
+        self._queue = AdmissionQueue(queue_size)
+        self._write_lock = threading.Lock()
+        self._lifecycle_lock = threading.Lock()
+        self._closed = False
+        self._cache = LsnQueryCache(cache_size) if cache_size else None
+        self._cache_lock = threading.Lock()
+        self._snapshot = self._build_snapshot()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"{name}-worker-{i}",
+                daemon=False,
+            )
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- snapshot lifecycle --------------------------------------------------
+
+    def _build_snapshot(self):
+        snapshot = self.warehouse.snapshot_view()
+        if snapshot.tree is self.warehouse.tree:
+            # serve_frozen=False or degraded: the "snapshot" would alias
+            # the mutable dict tree, which the writer path edits in
+            # place — concurrent readers would see torn state.
+            raise ServingError(
+                "QCServer requires a healthy frozen-serving warehouse "
+                "(serve_frozen=True and not degraded); the mutable dict "
+                "tree cannot be shared with concurrent writers"
+            )
+        return snapshot
+
+    @property
+    def snapshot(self):
+        """The currently published read snapshot."""
+        return self._snapshot
+
+    def _publish(self) -> None:
+        """Compile and atomically swap in a snapshot of the current
+        warehouse state.  Runs on the writer path only; readers keep
+        serving the previous snapshot throughout."""
+        snapshot = self._build_snapshot()
+        self._snapshot = snapshot  # atomic reference swap
+        self._metrics.counter("snapshot_swaps").inc()
+
+    # -- read path -----------------------------------------------------------
+
+    def register_op(self, name: str, fn) -> None:
+        """Add (or override) a served operation.
+
+        ``fn(snapshot, *args, **kwargs)`` runs on a worker thread
+        against the request's pinned snapshot.  This is the extension
+        point later transports and workload shims build on.
+        """
+        self._ops[name] = fn
+
+    def submit(self, op: str, /, *args, timeout: Optional[float] = None,
+               **kwargs) -> Future:
+        """Admit a read request; returns a :class:`~concurrent.futures.
+        Future` resolving to the answer.
+
+        Raises :class:`~repro.errors.ServerOverloadedError` immediately
+        when the admission queue is full (load shedding) and
+        :class:`~repro.errors.ServerClosedError` after :meth:`close`.
+        ``timeout`` (seconds, default ``default_timeout``) sets the
+        request's deadline; a request still queued when it expires is
+        answered with :class:`~repro.errors.DeadlineExceededError`.
+        """
+        if op not in self._ops:
+            raise QueryError(
+                f"unknown server op {op!r}; known: {sorted(self._ops)}"
+            )
+        limit = self.default_timeout if timeout is None else timeout
+        deadline = None if limit is None else time.monotonic() + limit
+        request = Request(op=op, args=args, kwargs=kwargs, future=Future(),
+                          deadline=deadline)
+        try:
+            admitted = self._queue.offer(request)
+        except RuntimeError:
+            raise ServerClosedError("server is closed") from None
+        if not admitted:
+            self._metrics.counter("shed").inc()
+            raise ServerOverloadedError(
+                f"admission queue full ({self._queue.maxsize} waiting); "
+                f"request {op!r} shed"
+            )
+        self._metrics.counter("submitted").inc()
+        return request.future
+
+    def query(self, op: str, /, *args, timeout: Optional[float] = None,
+              **kwargs):
+        """Synchronous convenience wrapper: submit and wait."""
+        return self.submit(op, *args, timeout=timeout, **kwargs).result()
+
+    def point(self, raw_cell, timeout: Optional[float] = None):
+        """Synchronous point query through the worker pool."""
+        return self.query("point", raw_cell, timeout=timeout)
+
+    def range(self, raw_spec, timeout: Optional[float] = None) -> dict:
+        """Synchronous range query through the worker pool."""
+        return self.query("range", raw_spec, timeout=timeout)
+
+    def iceberg(self, threshold, op: str = ">=",
+                timeout: Optional[float] = None) -> list:
+        """Synchronous pure iceberg query through the worker pool."""
+        return self.query("iceberg", threshold, op=op, timeout=timeout)
+
+    # -- worker pool ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        queue = self._queue
+        while True:
+            request = queue.take()
+            if request is None:
+                return
+            self._serve(request)
+
+    def _serve(self, request: Request) -> None:
+        future = request.future
+        if request.expired():
+            self._metrics.counter("timeouts").inc()
+            future.set_exception(DeadlineExceededError(
+                f"request {request.op!r} spent "
+                f"{time.monotonic() - request.enqueued_at:.3f}s queued, "
+                f"past its deadline"
+            ))
+            return
+        if not future.set_running_or_notify_cancel():
+            self._metrics.counter("cancelled").inc()
+            return
+        snapshot = self._snapshot  # pin one immutable version
+        start = time.monotonic()
+        try:
+            value = self._answer(snapshot, request)
+        except BaseException as exc:
+            self._metrics.observe(request.op, time.monotonic() - start)
+            self._metrics.counter("errors").inc()
+            future.set_exception(exc)
+            return
+        self._metrics.observe(request.op, time.monotonic() - start)
+        self._metrics.counter("completed").inc()
+        future.set_result(value)
+
+    def _cache_key(self, op: str, args: tuple, kwargs: dict):
+        if op == "point" and len(args) == 1 and not kwargs:
+            return point_cache_key(args[0])
+        if op == "range" and len(args) == 1 and not kwargs:
+            return range_cache_key(args[0])
+        if op == "iceberg" and 1 <= len(args) <= 2 and set(kwargs) <= {"op"}:
+            comparator = args[1] if len(args) == 2 else kwargs.get("op", ">=")
+            return iceberg_cache_key(args[0], comparator)
+        if (op == "iceberg_in_range" and len(args) == 2
+                and set(kwargs) <= {"op", "strategy"}):
+            return constrained_iceberg_cache_key(
+                args[0], args[1], kwargs.get("op", ">="),
+                kwargs.get("strategy", "filter"),
+            )
+        return None
+
+    def _answer(self, snapshot, request: Request):
+        """Execute one read against its pinned snapshot, through the
+        stamped cache when the op is cacheable."""
+        op, args, kwargs = request.op, request.args, request.kwargs
+        cache = self._cache
+        key = None if cache is None else self._cache_key(op, args, kwargs)
+        if key is None:
+            return self._ops[op](snapshot, *args, **kwargs)
+        with self._cache_lock:
+            value = cache.lookup(key, snapshot.stamp)
+        if value is MISS:
+            value = self._ops[op](snapshot, *args, **kwargs)
+            # Skip the store when a swap already superseded this
+            # snapshot — storing would re-pin the cache to the old
+            # stamp and thrash entries filled under the new one.
+            # (Stamped lookups stay correct either way.)
+            if snapshot is self._snapshot:
+                with self._cache_lock:
+                    cache.store(key, snapshot.stamp, value)
+        copy = _CACHE_COPY.get(op)
+        return value if copy is None else copy(value)
+
+    # -- write path (single writer, snapshot swap) ---------------------------
+
+    def insert(self, records) -> None:
+        """Insert a batch; serialized with other writers, invisible to
+        readers until the post-refreeze snapshot swap."""
+        self._mutate("insert", lambda: self.warehouse.insert(records))
+
+    def delete(self, records) -> None:
+        """Delete a batch; same publication discipline as :meth:`insert`."""
+        self._mutate("delete", lambda: self.warehouse.delete(records))
+
+    def modify(self, old_records, new_records) -> None:
+        """Replace records (§3.3's delete-then-insert) as one serialized
+        server operation with a *single* snapshot publication, so
+        readers never observe the deleted-but-not-reinserted middle."""
+        def apply():
+            self.warehouse.delete(old_records)
+            self.warehouse.insert(new_records)
+
+        self._mutate("modify", apply)
+
+    def _mutate(self, op: str, apply) -> None:
+        if self._closed:
+            raise ServerClosedError("server is closed")
+        start = time.monotonic()
+        with self._write_lock:
+            apply()
+            self._publish()
+        self._metrics.observe(f"write:{op}", time.monotonic() - start)
+
+    # -- lifecycle & reporting -----------------------------------------------
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Shut down: stop admissions, fail stranded requests, join the
+        workers.  Idempotent.  After it returns no server thread is
+        alive — the no-leaked-threads guarantee CI checks."""
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for request in self._queue.close():
+            self._metrics.counter("errors").inc()
+            request.future.set_exception(
+                ServerClosedError("server shut down before request ran")
+            )
+        for thread in self._workers:
+            thread.join(timeout)
+
+    def __enter__(self) -> "QCServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> dict:
+        """Operational readout: counters, per-op latency histograms,
+        queue depth, worker liveness, snapshot identity, cache health."""
+        stats = self._metrics.to_dict()
+        stats["workers"] = {
+            "configured": len(self._workers),
+            "alive": sum(1 for t in self._workers if t.is_alive()),
+        }
+        stats["queue"] = {
+            "depth": self._queue.depth(),
+            "maxsize": self._queue.maxsize,
+        }
+        stats["snapshot"] = self._snapshot.describe()
+        stats["cache"] = (
+            self._cache.stats() if self._cache is not None else None
+        )
+        stats["closed"] = self._closed
+        return stats
+
+    def __repr__(self):
+        lsn, epoch = self._snapshot.stamp
+        return (
+            f"QCServer(workers={len(self._workers)}, "
+            f"queue={self._queue.depth()}/{self._queue.maxsize}, "
+            f"snapshot=(lsn={lsn}, epoch={epoch}), "
+            f"closed={self._closed})"
+        )

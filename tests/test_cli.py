@@ -102,6 +102,120 @@ class TestVersion:
         assert repro.__version__ in capsys.readouterr().out
 
 
+class TestServeCommand:
+    def run_serve(self, built_tree, sales_csv, monkeypatch, capsys, script,
+                  extra=()):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        code = main(["serve", built_tree, "--table", sales_csv,
+                     "--workers", "2", *extra])
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_point_range_and_quit(self, built_tree, sales_csv, monkeypatch,
+                                  capsys):
+        code, out, err = self.run_serve(
+            built_tree, sales_csv, monkeypatch, capsys,
+            "point S2,*,f\npoint S2,*,s\nrange S1|S2,*,*\nquit\n",
+        )
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert lines[0] == "9.0"
+        assert lines[1] == "NULL"
+        assert "S1,*,*\t9.0" in lines
+        assert "# 2 cells" in lines
+        assert "serving" in err  # banner goes to stderr, not the protocol
+
+    def test_exploration_and_stats(self, built_tree, sales_csv, monkeypatch,
+                                   capsys):
+        import json
+
+        code, out, _ = self.run_serve(
+            built_tree, sales_csv, monkeypatch, capsys,
+            "rollup S2,P1,f\nclass *,P1,*\nopen S2,P1,f\nstats\nquit\n",
+        )
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert "*,*,*\t9.0" in lines
+        assert "*,P1,*\t7.5" in lines
+        stats = json.loads(lines[-1])
+        assert stats["counters"]["completed"] == 3
+        assert stats["snapshot"]["frozen"] is True
+
+    def test_insert_becomes_visible(self, built_tree, sales_csv, monkeypatch,
+                                    capsys):
+        code, out, _ = self.run_serve(
+            built_tree, sales_csv, monkeypatch, capsys,
+            "point S3,P1,s\ninsert S3,P1,s,5.0\npoint S3,P1,s\nquit\n",
+        )
+        assert code == 0
+        assert out.strip().splitlines() == ["NULL", "OK", "5.0"]
+
+    def test_bad_command_keeps_serving(self, built_tree, sales_csv,
+                                       monkeypatch, capsys):
+        code, out, _ = self.run_serve(
+            built_tree, sales_csv, monkeypatch, capsys,
+            "frobnicate\nrollup S9,*,*\npoint S2,*,f\nquit\n",
+        )
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("error:")
+        assert lines[1].startswith("error:")
+        assert lines[2] == "9.0"
+
+    def test_eof_closes_cleanly(self, built_tree, sales_csv, monkeypatch,
+                                capsys):
+        import threading
+
+        code, out, _ = self.run_serve(
+            built_tree, sales_csv, monkeypatch, capsys, "point S2,*,f\n"
+        )
+        assert code == 0
+        assert out.strip() == "9.0"
+        assert not any(t.name.startswith("qcserver")
+                       for t in threading.enumerate())
+
+
+class TestBenchServeCommand:
+    def test_closed_loop_report(self, built_tree, sales_csv, capsys):
+        import json
+
+        code = main(["bench-serve", built_tree, "--table", sales_csv,
+                     "--workers", "2", "--requests", "50", "--clients", "2"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["model"] == "closed"
+        assert report["ok"] == 50
+        assert report["throughput_rps"] > 0
+        assert report["server"]["counters"]["completed"] == 50
+
+    def test_open_loop_with_writes_unsupported_combo_ignored(
+            self, built_tree, sales_csv, capsys):
+        import json
+
+        code = main(["bench-serve", built_tree, "--table", sales_csv,
+                     "--workers", "1", "--requests", "30",
+                     "--rate", "5000"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["model"] == "open"
+        assert report["ok"] + report["shed"] + report["timeouts"] \
+            + report["errors"] == 30
+
+    def test_mixed_writes_report(self, built_tree, sales_csv, capsys):
+        import json
+
+        code = main(["bench-serve", built_tree, "--table", sales_csv,
+                     "--workers", "2", "--requests", "40", "--clients", "2",
+                     "--writes", "1"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["model"] == "mixed"
+        assert report["writes"]["batches"] == 2  # one insert+delete pair
+        assert report["server"]["counters"]["snapshot_swaps"] == 2
+
+
 class TestFsckCommand:
     def test_clean_tree_exits_zero(self, built_tree, sales_csv, capsys):
         assert main(["fsck", built_tree, "--table", sales_csv]) == 0

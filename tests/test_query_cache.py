@@ -7,7 +7,14 @@ degraded-mode flip must atomically invalidate every cached entry.
 
 import pytest
 
-from repro.core.query_cache import MISS, LsnQueryCache
+from repro.core.query_cache import (
+    MISS,
+    LsnQueryCache,
+    constrained_iceberg_cache_key,
+    iceberg_cache_key,
+    point_cache_key,
+    range_cache_key,
+)
 from repro.core.warehouse import QCWarehouse
 from repro.cube.schema import Schema
 
@@ -75,6 +82,105 @@ class TestCacheUnit:
         assert stats["hits"] == 1
         assert stats["misses"] == 1
         assert stats["hit_rate"] == 0.5
+
+
+class TestCacheKeys:
+    """Normalized, namespaced keys for every cacheable query family."""
+
+    def test_point_key_roundtrip(self):
+        assert point_cache_key(("S1", "*", "f")) == ("point", ("S1", "*", "f"))
+        assert point_cache_key((["S1"], "*")) is None  # unhashable part
+
+    def test_range_key_normalizes_order_and_duplicates(self):
+        a = range_cache_key((["S2", "S1", "S1"], "*", "f"))
+        b = range_cache_key((["S1", "S2"], "*", "f"))
+        assert a == b and a is not None
+
+    def test_range_key_scalar_equals_singleton_list(self):
+        assert range_cache_key(("S1", "*")) == range_cache_key((["S1"], "*"))
+
+    def test_range_key_unsortable_spec_uncacheable(self):
+        assert range_cache_key((["S1", 3], "*")) is None
+
+    def test_iceberg_keys_distinguish_parameters(self):
+        keys = {
+            iceberg_cache_key(9.0, ">="),
+            iceberg_cache_key(9.0, ">"),
+            iceberg_cache_key(8.0, ">="),
+            constrained_iceberg_cache_key(("*", "*"), 9.0, ">=", "filter"),
+            constrained_iceberg_cache_key(("*", "*"), 9.0, ">=", "mark"),
+        }
+        assert len(keys) == 5
+
+    def test_namespaces_do_not_collide(self):
+        """A point cell and a range spec with the same raw tuple must
+        occupy distinct cache slots."""
+        assert point_cache_key(("S1", "*")) != range_cache_key(("S1", "*"))
+
+    def test_eviction_counter(self):
+        cache = LsnQueryCache(maxsize=2)
+        for i in range(5):
+            cache.store(i, (1, 0), i)
+        assert cache.stats()["evictions"] == 3
+
+
+class TestRangeIcebergCaching:
+    """Satellite 2: range and iceberg answers ride the stamped cache."""
+
+    def test_repeat_range_hits_cache(self):
+        wh = make_wh()
+        spec = (["S1", "S2"], "*", "s")
+        first = wh.range(spec)
+        assert wh.range(spec) == first
+        assert wh.stats()["query_cache"]["hits"] == 1
+
+    def test_equivalent_range_specs_share_an_entry(self):
+        wh = make_wh()
+        assert wh.range((["S2", "S1"], "*", "s")) == wh.range(
+            (["S1", "S2"], "*", "s")
+        )
+        assert wh.stats()["query_cache"]["hits"] == 1
+
+    def test_cached_range_result_is_isolated(self):
+        wh = make_wh()
+        spec = ("*", "*", "s")
+        first = wh.range(spec)
+        first[("tampered",)] = -1.0
+        assert ("tampered",) not in wh.range(spec)
+
+    def test_repeat_iceberg_hits_cache(self):
+        wh = make_wh()
+        first = wh.iceberg(9.0)
+        second = wh.iceberg(9.0)
+        assert second == first
+        second.append("tampered")
+        assert wh.iceberg(9.0) == first
+        assert wh.stats()["query_cache"]["hits"] >= 1
+
+    def test_iceberg_op_variants_are_distinct_entries(self):
+        wh = make_wh()
+        above = wh.iceberg(9.0, op=">=")
+        below = wh.iceberg(9.0, op="<")
+        assert above != below
+        assert wh.stats()["query_cache"]["hits"] == 0
+
+    def test_constrained_iceberg_cached_per_strategy(self):
+        wh = make_wh()
+        spec = ("*", "*", "s")
+        mark = wh.iceberg_in_range(spec, 6.0, op=">", strategy="mark")
+        filt = wh.iceberg_in_range(spec, 6.0, op=">", strategy="filter")
+        assert mark == filt  # same answer via either plan...
+        assert wh.iceberg_in_range(spec, 6.0, op=">", strategy="mark") == mark
+        assert wh.stats()["query_cache"]["hits"] == 1  # ...distinct entries
+
+    def test_insert_invalidates_range_and_iceberg(self):
+        wh = make_wh()
+        spec = (["S1", "S2"], "*", "*")
+        before_range = wh.range(spec)
+        before_ice = wh.iceberg(5.0)
+        wh.insert([("S2", "P2", "s", 30.0)])
+        assert wh.range(spec) != before_range
+        assert wh.iceberg(5.0) != before_ice
 
 
 class TestWarehouseIntegration:
