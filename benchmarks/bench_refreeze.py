@@ -1,0 +1,217 @@
+"""Incremental refreeze — patched frozen-view updates vs full recompiles.
+
+Not a paper figure: this benchmark tracks the write path of the serving
+subsystem.  Section 5's pitch is that Algorithms 5–7 touch only the
+affected subtrees on maintenance; ``FrozenQCTree.patch`` extends that
+locality to the read-optimized serving view, splicing the recorded
+:class:`~repro.core.maintenance.delta.MaintenanceDelta` into the frozen
+arrays instead of recompiling them.  On the Figure-13 synthetic table
+(Zipf factor 2) this measures, for a stream of single-tuple inserts:
+
+* **patch vs full** — per-write latency of ``frozen.patch(delta)``
+  against a from-scratch ``tree.freeze()`` of the same mutated tree,
+  with a signature check proving both views are equivalent.  The
+  acceptance bar (≥5× at Figure-13 scale) is asserted on the medians.
+* **serving phases** — the same writes driven through ``QCServer``,
+  reporting the ``maintain`` / ``refreeze`` / ``publish`` / ``warm``
+  phase split from ``stats()`` so BENCH files track where write time
+  goes over time.
+
+Results go to ``BENCH_refreeze.json`` at the repo root (committed,
+diffable PR over PR) and a table under ``benchmarks/results/``.
+``--quick`` (or ``REPRO_BENCH_QUICK=1``) scales down for CI smoke runs;
+the quick run still enforces patched < full as a regression guard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import statistics
+import sys
+import time
+
+from common import print_table, synth
+from repro.core.construct import build_qctree
+from repro.core.maintenance import apply_insertions
+from repro.core.warehouse import QCWarehouse
+from repro.serving.server import QCServer
+from repro.serving.workload import point_requests
+
+OUT_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_refreeze.json"
+)
+
+FULL = dict(n_rows=4000, n_dims=5, card=20, n_writes=40,
+            server_writes=12, warm_requests=400, min_speedup=5.0)
+QUICK = dict(n_rows=800, n_dims=5, card=20, n_writes=10,
+             server_writes=4, warm_requests=120, min_speedup=1.0)
+
+
+def _quick_from_env() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def _median_us(samples) -> float:
+    return round(statistics.median(samples) * 1e6, 3) if samples else 0.0
+
+
+def _single_tuple_records(table, config, seed=11):
+    """Raw single-tuple insert records over the table's label domains."""
+    rng = random.Random(seed)
+    records = []
+    for _ in range(config["n_writes"]):
+        cell = tuple(
+            rng.randrange(config["card"]) for _ in range(config["n_dims"])
+        )
+        records.append(table.decode_cell(cell) + (1.0,))
+    return records
+
+
+def measure_patch_vs_full(config) -> dict:
+    """Per-write patch latency vs from-scratch freeze of the same tree."""
+    table = synth(n_rows=config["n_rows"], n_dims=config["n_dims"],
+                  card=config["card"])
+    tree = build_qctree(table, aggregate="count")
+    frozen = tree.freeze()
+    n_nodes_start = frozen.n_nodes
+
+    patch_s, full_s, maintain_s, dirty = [], [], [], []
+    modes: dict = {}
+    for record in _single_tuple_records(table, config):
+        tree.begin_delta()
+        t0 = time.perf_counter()
+        table = apply_insertions(tree, table, [record])
+        t1 = time.perf_counter()
+        delta = tree.end_delta()
+
+        t2 = time.perf_counter()
+        patched = frozen.patch(delta)
+        t3 = time.perf_counter()
+        full = tree.freeze()
+        t4 = time.perf_counter()
+
+        maintain_s.append(t1 - t0)
+        patch_s.append(t3 - t2)
+        full_s.append(t4 - t3)
+        dirty.append(len(delta))
+        mode = patched.patch_stats["mode"]
+        modes[mode] = modes.get(mode, 0) + 1
+        frozen = patched
+
+    # Equivalence of the final chained-patch view with a clean compile.
+    equivalent = frozen.signature() == tree.freeze().signature()
+
+    patched_us = _median_us(patch_s)
+    full_us = _median_us(full_s)
+    return {
+        "writes": config["n_writes"],
+        "nodes": n_nodes_start,
+        "dirty_median": statistics.median(dirty) if dirty else 0,
+        "maintain_median_us": _median_us(maintain_s),
+        "patched_median_us": patched_us,
+        "full_median_us": full_us,
+        "patched_p90_us": _median_us(
+            [sorted(patch_s)[int(0.9 * (len(patch_s) - 1))]]
+        ),
+        "full_p90_us": _median_us(
+            [sorted(full_s)[int(0.9 * (len(full_s) - 1))]]
+        ),
+        "speedup": round(full_us / patched_us, 3) if patched_us else 0.0,
+        "modes": modes,
+        "equivalent": equivalent,
+    }
+
+
+def measure_serving_phases(config) -> dict:
+    """The same single-tuple writes through QCServer: phase breakdown."""
+    table = synth(n_rows=config["n_rows"], n_dims=config["n_dims"],
+                  card=config["card"])
+    warehouse = QCWarehouse(table, aggregate="count")
+    records = _single_tuple_records(table, config)[: config["server_writes"]]
+    with QCServer(warehouse, workers=2, warm_keys=16) as server:
+        # Warm the read path (and the heat table) before writing, so the
+        # post-swap warmer has hot keys to replay.
+        for op, args in point_requests(
+            table, config["warm_requests"], seed=7
+        ):
+            server.query(op, *args)
+        for record in records:
+            server.insert([record])
+        stats = server.stats()
+    return {
+        "writes": len(records),
+        "phases": stats["write_phases"],
+        "refreeze_patched": stats["counters"]["refreeze_patched"],
+        "refreeze_full": stats["counters"]["refreeze_full"],
+        "cache_warmed": stats["counters"]["cache_warmed"],
+        "last_refreeze": stats["refreeze"],
+    }
+
+
+def measure(config) -> dict:
+    return {
+        "config": dict(config),
+        "patch_vs_full": measure_patch_vs_full(config),
+        "serving": measure_serving_phases(config),
+    }
+
+
+def report(results, out_path=OUT_PATH) -> None:
+    with open(out_path, "w") as fp:
+        json.dump(results, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    core = results["patch_vs_full"]
+    rows = [
+        ["patch(delta)", core["patched_median_us"], core["patched_p90_us"]],
+        ["full freeze()", core["full_median_us"], core["full_p90_us"]],
+        ["speedup", core["speedup"], ""],
+    ]
+    phases = results["serving"]["phases"]
+    for phase in ("maintain", "refreeze", "publish", "warm"):
+        snap = phases.get(phase)
+        if snap:
+            rows.append([f"phase:{phase}", snap["p50_us"], snap["p90_us"]])
+    print_table(
+        "Incremental refreeze: patch vs full (single-tuple inserts)",
+        ["series", "p50 (us)", "p90 (us)"],
+        rows,
+        result_file="refreeze.txt",
+    )
+
+
+def test_refreeze_report(benchmark):
+    config = QUICK if _quick_from_env() else FULL
+    results = benchmark.pedantic(measure, args=(config,),
+                                 rounds=1, iterations=1)
+    report(results)
+    core = results["patch_vs_full"]
+    # Chained patches answer identically to a from-scratch compile.
+    assert core["equivalent"]
+    # Single-tuple deltas must actually take the incremental path.
+    assert core["modes"].get("patched", 0) > 0
+    # The acceptance bar: ≥5× at Figure-13 scale; the quick CI run still
+    # guards against regression (patched must beat full).
+    assert core["speedup"] >= config["min_speedup"], core
+    assert core["patched_median_us"] < core["full_median_us"], core
+    # The serving write path reports the phase split and warms the cache.
+    serving = results["serving"]
+    for phase in ("maintain", "refreeze", "publish"):
+        assert serving["phases"][phase]["count"] == serving["writes"]
+    assert serving["refreeze_patched"] + serving["refreeze_full"] \
+        == serving["writes"]
+    assert serving["cache_warmed"] > 0
+
+
+def main(argv=None) -> int:
+    quick = _quick_from_env() or (argv is not None and "--quick" in argv) \
+        or "--quick" in sys.argv[1:]
+    results = measure(QUICK if quick else FULL)
+    report(results)
+    print(f"wrote {os.path.abspath(OUT_PATH)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,8 +63,11 @@ def _load_warehouse(args) -> QCWarehouse:
     schema = Schema(dimensions=tree.dim_names, measures=args_measures(args))
     table = BaseTable.from_csv(args.table, schema)
     serve_frozen = getattr(args, "engine", "frozen") != "dict"
-    return QCWarehouse(table, aggregate=tree.aggregate, tree=tree,
-                       serve_frozen=serve_frozen)
+    return QCWarehouse(
+        table, aggregate=tree.aggregate, tree=tree,
+        serve_frozen=serve_frozen,
+        full_refreeze_ratio=getattr(args, "refreeze_ratio", 0.25),
+    )
 
 
 def args_measures(args):
@@ -236,6 +239,7 @@ def cmd_serve(args) -> int:
     server = QCServer(
         warehouse, workers=args.workers, queue_size=args.queue_size,
         default_timeout=args.timeout, cache_size=args.cache_size,
+        warm_keys=args.warm_keys,
     )
     stats = warehouse.stats()
     print(
@@ -275,7 +279,8 @@ def cmd_bench_serve(args) -> int:
     requests = point_requests(warehouse.table, args.requests, seed=7)
     with QCServer(warehouse, workers=args.workers,
                   queue_size=args.queue_size,
-                  default_timeout=args.timeout) as server:
+                  default_timeout=args.timeout,
+                  warm_keys=args.warm_keys) as server:
         if args.stall_us:
             op = register_stalled_point(server, args.stall_us / 1e6)
             requests = [(op, a) for _, a in requests]
@@ -372,6 +377,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission queue bound (default 128)")
         p.add_argument("--timeout", type=float, default=None,
                        help="per-request deadline in seconds (default none)")
+        p.add_argument("--warm-keys", type=int, default=32,
+                       help="hottest cache keys replayed after each "
+                            "snapshot swap (default 32; 0 disables)")
+        p.add_argument("--refreeze-ratio", type=float, default=0.25,
+                       help="dirty fraction above which a write recompiles "
+                            "the frozen view instead of patching it "
+                            "(default 0.25; 0 always recompiles, 1 always "
+                            "patches)")
         return p
 
     p_serve = with_server(sub.add_parser(

@@ -31,6 +31,26 @@ additionally provides the optimized ``_locate`` fast path that
 node-access counts — are identical by construction, and
 ``frozen.signature() == tree.signature()``.
 
+Incremental refreeze
+--------------------
+Recompiling the whole tree after every maintenance batch throws away the
+locality the paper's Algorithms 5–7 work hard for, so :meth:`patch`
+splices a recorded :class:`~repro.core.maintenance.delta.
+MaintenanceDelta` into a *new* frozen view at cost proportional to the
+dirty set: touched nodes get fresh routing/edge/link rows, pruned nodes
+become unreachable tombstone slots, and brand-new nodes are appended
+into spare capacity past the preorder prefix.  Per-node edge and link
+slices of touched nodes live in a small overlay consulted before the
+shared CSR arrays; the untouched majority of every array is reused
+(tuples are shared or block-copied, never re-derived).  A patch falls
+back to a full :meth:`from_tree` compile when the dirty set is too large
+(``full_refreeze_ratio``), when accumulated tombstones/overlay debt says
+it is time to compact (``compact_ratio``), or when the delta needs
+representation changes a splice cannot express (label-code overflow of
+the routing-key stride).  Either way the result answers every query
+identically to a from-scratch freeze — the property tests assert
+node-for-node equivalence.
+
 Freezing requires each dimension's label codes to be mutually comparable
 (dictionary-encoded ints always are); a mixed-type dimension cannot be
 sorted and raises :class:`~repro.errors.QueryError`.
@@ -38,7 +58,7 @@ sorted and raises :class:`~repro.errors.QueryError`.
 Instances are immutable: attribute assignment after construction raises
 :class:`TypeError`, so a frozen view can be shared across threads and
 cached query results can never be invalidated by in-place edits — the
-warehouse swaps in a whole new view instead.
+warehouse swaps in a whole new view instead (patched or recompiled).
 """
 
 from __future__ import annotations
@@ -76,20 +96,54 @@ def _route_key(stride, dim, value):
     return (dim, value)
 
 
+def _derive_row(tree, node, remap):
+    """One node's frozen row, derived from the dict tree.
+
+    Returns ``(edges, links, routing, last_dim, forced)`` where edges and
+    links are sorted ``((dim, value), mapped_id)`` lists and ``routing``
+    is the merged label map (edges shadow links, mirroring
+    ``search_route``'s edge-first probe order).  Raises ``TypeError``
+    when a dimension mixes label types that do not sort and ``KeyError``
+    when a neighbor is missing from ``remap``.
+    """
+    edges = sorted(
+        ((dim, val), remap[child])
+        for dim, val, child in tree.iter_children_of(node)
+    )
+    links = sorted(
+        ((dim, val), remap[target])
+        for dim, val, target in tree.iter_links_of(node)
+    )
+    routing = dict(links)
+    routing.update(edges)
+    last_dim = -1
+    forced = -1
+    if edges:
+        last_dim = edges[-1][0][0]
+        in_last = [c for (d, _), c in edges if d == last_dim]
+        if len(in_last) == 1:
+            forced = in_last[0]
+    return edges, links, routing, last_dim, forced
+
+
 class FrozenQCTree:
     """Read-optimized immutable snapshot of a :class:`QCTree`.
 
     Build via :meth:`QCTree.freeze` (or :meth:`from_tree`); node ids are
-    compact preorder ids, *not* the source tree's ids.
+    compact preorder ids, *not* the source tree's ids.  A :meth:`patch`
+    keeps existing ids stable, appends new nodes past the preorder
+    prefix, and leaves tombstone slots where nodes were pruned.
     """
 
     __slots__ = (
         "n_dims", "dim_names", "aggregate", "root", "state",
-        "snapshot_meta",
+        "snapshot_meta", "patch_stats",
         "_node_dim", "_node_value", "_parent", "_value", "_ubs",
         "_edge_start", "_edge_keys", "_edge_child",
         "_link_start", "_link_keys", "_link_target",
-        "_routes", "_stride", "_last_dim", "_forced", "_sealed",
+        "_routes", "_stride", "_last_dim", "_forced",
+        "_source_map", "_dead", "_edge_over", "_link_over",
+        "_sealed",
     )
 
     def __init__(self):
@@ -133,13 +187,8 @@ class FrozenQCTree:
                     value[i] = tree.aggregate.value(st)
                 ubs[i] = tree.upper_bound_of(old)
 
-                edges = sorted(
-                    ((dim, val), remap[child])
-                    for dim, val, child in tree.iter_children_of(old)
-                )
-                links = sorted(
-                    ((dim, val), remap[target])
-                    for dim, val, target in tree.iter_links_of(old)
+                edges, links, routing, last, force = _derive_row(
+                    tree, old, remap
                 )
                 edge_keys.extend(k for k, _ in edges)
                 edge_child.extend(c for _, c in edges)
@@ -147,20 +196,9 @@ class FrozenQCTree:
                 link_keys.extend(k for k, _ in links)
                 link_target.extend(t for _, t in links)
                 link_start[i + 1] = len(link_keys)
-
-                # Merged routing table: an edge shadows a link with the
-                # same (dim, value) label, mirroring search_route's
-                # edge-first probe order.
-                routing = dict(links)
-                routing.update(edges)
                 routes[i] = routing
-
-                if edges:
-                    last = edges[-1][0][0]
-                    last_dim[i] = last
-                    in_last = [c for (d, _), c in edges if d == last]
-                    if len(in_last) == 1:
-                        forced[i] = in_last[0]
+                last_dim[i] = last
+                forced[i] = force
         except TypeError as exc:
             raise QueryError(
                 "cannot freeze QC-tree: a dimension mixes label types "
@@ -169,16 +207,19 @@ class FrozenQCTree:
 
         # When every label is a non-negative int (dictionary codes always
         # are), routing keys compress to ``dim * stride + value`` — one
-        # int hash per probe instead of a tuple allocation.  ``stride``
-        # stays 0 for exotic label types, keeping (dim, value) keys.
+        # int hash per probe instead of a tuple allocation.  The stride
+        # carries 2× headroom past the largest code seen, so a later
+        # patch() can splice in freshly minted dictionary codes without
+        # re-keying every routing dict.  ``stride`` stays 0 for exotic
+        # label types, keeping (dim, value) keys.
         labels = [
             value
             for routing in routes
             for (_, value) in routing
         ]
         stride = 0
-        if all(type(v) is int and v >= 0 for v in labels):
-            stride = max(labels, default=-1) + 1
+        if labels and all(type(v) is int and v >= 0 for v in labels):
+            stride = 2 * (max(labels) + 1)
             routes = [
                 {dim * stride + value: target
                  for (dim, value), target in routing.items()}
@@ -192,6 +233,10 @@ class FrozenQCTree:
         put(self, "root", 0)
         put(self, "state", tuple(state))
         put(self, "snapshot_meta", dict(getattr(tree, "snapshot_meta", {})))
+        put(self, "patch_stats", {
+            "mode": "fresh", "dirty": n, "touched": n, "appended": 0,
+            "tombstoned": 0, "dead_slots": 0, "overlay": 0, "slots": n,
+        })
         put(self, "_node_dim", tuple(node_dim))
         put(self, "_node_value", tuple(node_value))
         put(self, "_parent", tuple(parent))
@@ -207,8 +252,200 @@ class FrozenQCTree:
         put(self, "_stride", stride)
         put(self, "_last_dim", tuple(last_dim))
         put(self, "_forced", tuple(forced))
+        put(self, "_source_map", remap)
+        put(self, "_dead", frozenset())
+        put(self, "_edge_over", None)
+        put(self, "_link_over", None)
         put(self, "_sealed", True)
         return self
+
+    # -- incremental refreeze --------------------------------------------------
+
+    def patch(self, delta, full_refreeze_ratio: float = 0.25,
+              compact_ratio: float = 0.5) -> "FrozenQCTree":
+        """Splice a :class:`~repro.core.maintenance.delta.MaintenanceDelta`
+        into a new frozen view, at cost proportional to the dirty set.
+
+        ``delta`` must have been recorded against the tree this view was
+        compiled from (the same object, still holding every un-dirty node
+        unchanged); the post-mutation tree is the ground truth for what
+        each dirty node now contains.  Existing node ids stay stable;
+        pruned nodes leave unreachable tombstone slots, new nodes are
+        appended past the preorder prefix, and the touched nodes' edge/
+        link slices live in an overlay consulted before the shared CSR
+        arrays.  The result is immutable and answers every query exactly
+        like ``delta.tree.freeze()`` would.
+
+        Fallback heuristics (each produces a full recompile, reported in
+        ``patch_stats["mode"]``):
+
+        * ``full_refreeze_ratio`` — when the dirty set exceeds this
+          fraction of the live nodes, splicing would touch most of the
+          tree anyway (``mode="full"``).  ``0`` forces a recompile on
+          every call; ``1`` effectively disables the check.
+        * ``compact_ratio`` — when accumulated tombstones plus overlay
+          rows would exceed this fraction of the live nodes, the spare
+          capacity is reclaimed by repacking (``mode="compacted"``).
+        * representation limits — a label code past the routing-key
+          stride's headroom, an unsortable label mix, or an unmapped
+          neighbor (``mode="full"``, see ``patch_stats["reason"]``).
+        """
+        tree = delta.tree
+        dirty = delta.dirty
+        if not dirty:
+            return self  # nothing changed; the view is already current
+
+        def full(mode: str, reason: str) -> "FrozenQCTree":
+            out = FrozenQCTree.from_tree(tree)
+            stats = dict(out.patch_stats)
+            stats.update(mode=mode, reason=reason, dirty=len(dirty))
+            object.__setattr__(out, "patch_stats", stats)
+            return out
+
+        n_live = self.n_nodes
+        if len(dirty) > full_refreeze_ratio * max(1, n_live):
+            return full("full", "dirty-ratio")
+
+        # -- classify dirty ids against the post-mutation ground truth ----
+        free = tree._free()
+        tree_size = len(tree.node_dim)
+        source_map = dict(self._source_map)
+        base_slots = len(self.state)
+        dead = set(self._dead)
+        gone: list = []      # frozen slots to tombstone
+        rebuild: list = []   # (dict id, frozen slot) rows to (re)derive
+        appended: list = []  # dict ids gaining brand-new slots
+        for d in sorted(dirty):
+            alive = d < tree_size and d not in free
+            slot = source_map.get(d)
+            if not alive:
+                if slot is not None:
+                    del source_map[d]
+                    if slot not in dead:
+                        gone.append(slot)
+                continue
+            if slot is None or slot in dead:
+                slot = base_slots + len(appended)
+                appended.append(d)
+                source_map[d] = slot
+            rebuild.append((d, slot))
+
+        # -- compaction: reclaim tombstones + overlay debt by repacking ----
+        overlay_after = set(self._edge_over or ())
+        overlay_after.update(slot for _, slot in rebuild)
+        overlay_after.update(gone)
+        dead_after = len(dead) + len(gone)
+        live_after = base_slots + len(appended) - dead_after
+        if dead_after + len(overlay_after) > compact_ratio * max(1, live_after):
+            return full("compacted", "patch-debt")
+
+        # -- splice ---------------------------------------------------------
+        agg = tree.aggregate
+        stride = self._stride
+        grow = len(appended)
+        node_dim = list(self._node_dim) + [0] * grow
+        node_value = list(self._node_value) + [None] * grow
+        parent = list(self._parent) + [-1] * grow
+        state = list(self.state) + [None] * grow
+        value = list(self._value) + [None] * grow
+        ubs = list(self._ubs) + [None] * grow
+        routes = list(self._routes) + [None] * grow
+        last_dim = list(self._last_dim) + [-1] * grow
+        forced = list(self._forced) + [-1] * grow
+        edge_over = dict(self._edge_over) if self._edge_over else {}
+        link_over = dict(self._link_over) if self._link_over else {}
+
+        for slot in gone:
+            dead.add(slot)
+            node_dim[slot] = 0
+            node_value[slot] = None
+            parent[slot] = -1
+            state[slot] = None
+            value[slot] = None
+            ubs[slot] = None
+            routes[slot] = {}
+            last_dim[slot] = -1
+            forced[slot] = -1
+            edge_over[slot] = ((), ())
+            link_over[slot] = ((), ())
+
+        try:
+            for d, slot in rebuild:
+                edges, links, routing, last, force = _derive_row(
+                    tree, d, source_map
+                )
+                if stride:
+                    packed = {}
+                    for (dim, val), target in routing.items():
+                        if type(val) is not int or not (0 <= val < stride):
+                            return full("full", "stride-overflow")
+                        packed[dim * stride + val] = target
+                    routing = packed
+                node_dim[slot] = tree.node_dim[d]
+                node_value[slot] = tree.node_value[d]
+                parent[slot] = source_map.get(tree.parent[d], -1)
+                st = tree.state[d]
+                state[slot] = st
+                value[slot] = agg.value(st) if st is not None else None
+                ubs[slot] = tree.upper_bound_of(d)
+                routes[slot] = routing
+                last_dim[slot] = last
+                forced[slot] = force
+                edge_over[slot] = (
+                    tuple(k for k, _ in edges),
+                    tuple(c for _, c in edges),
+                )
+                link_over[slot] = (
+                    tuple(k for k, _ in links),
+                    tuple(t for _, t in links),
+                )
+        except TypeError:
+            return full("full", "unsortable-labels")
+        except KeyError:
+            # A rebuilt node references a neighbor the dirty set missed;
+            # recompiling is always correct (and the property tests would
+            # catch a recorder gap that made this path common).
+            return full("full", "unmapped-neighbor")
+
+        out = object.__new__(FrozenQCTree)
+        put = object.__setattr__
+        put(out, "n_dims", tree.n_dims)
+        put(out, "dim_names", tuple(tree.dim_names))
+        put(out, "aggregate", agg)
+        put(out, "root", 0)
+        put(out, "state", tuple(state))
+        put(out, "snapshot_meta", dict(getattr(tree, "snapshot_meta", {})))
+        put(out, "patch_stats", {
+            "mode": "patched",
+            "dirty": len(dirty),
+            "touched": len(rebuild),
+            "appended": grow,
+            "tombstoned": len(gone),
+            "dead_slots": len(dead),
+            "overlay": len(edge_over),
+            "slots": base_slots + grow,
+        })
+        put(out, "_node_dim", tuple(node_dim))
+        put(out, "_node_value", tuple(node_value))
+        put(out, "_parent", tuple(parent))
+        put(out, "_value", tuple(value))
+        put(out, "_ubs", tuple(ubs))
+        put(out, "_edge_start", self._edge_start)
+        put(out, "_edge_keys", self._edge_keys)
+        put(out, "_edge_child", self._edge_child)
+        put(out, "_link_start", self._link_start)
+        put(out, "_link_keys", self._link_keys)
+        put(out, "_link_target", self._link_target)
+        put(out, "_routes", tuple(routes))
+        put(out, "_stride", stride)
+        put(out, "_last_dim", tuple(last_dim))
+        put(out, "_forced", tuple(forced))
+        put(out, "_source_map", source_map)
+        put(out, "_dead", frozenset(dead))
+        put(out, "_edge_over", edge_over)
+        put(out, "_link_over", link_over)
+        put(out, "_sealed", True)
+        return out
 
     # -- immutability --------------------------------------------------------
 
@@ -222,19 +459,34 @@ class FrozenQCTree:
 
     @property
     def n_nodes(self) -> int:
-        return len(self.state)
+        return len(self.state) - len(self._dead)
 
     @property
     def n_links(self) -> int:
-        return len(self._link_keys)
+        over = self._link_over
+        if not over:
+            return len(self._link_keys)
+        start = self._link_start
+        base_n = len(start) - 1
+        total = sum(len(keys) for keys, _ in over.values())
+        total += sum(
+            start[node + 1] - start[node]
+            for node in range(base_n)
+            if node not in over
+        )
+        return total
 
     @property
     def n_classes(self) -> int:
         return sum(1 for s in self.state if s is not None)
 
     def iter_nodes(self) -> Iterator[int]:
-        """Node ids in preorder (ids are dense, so this is just a range)."""
-        return iter(range(len(self.state)))
+        """Live node ids (preorder for a fresh compile; a patched view
+        appends new nodes past the preorder prefix and skips tombstones)."""
+        dead = self._dead
+        if not dead:
+            return iter(range(len(self.state)))
+        return (n for n in range(len(self.state)) if n not in dead)
 
     def iter_class_nodes(self) -> Iterator[int]:
         for node, s in enumerate(self.state):
@@ -245,27 +497,61 @@ class FrozenQCTree:
         start, keys, targets = (
             self._link_start, self._link_keys, self._link_target
         )
+        over = self._link_over
+        base_n = len(start) - 1
         for node in range(len(self.state)):
-            for i in range(start[node], start[node + 1]):
-                dim, value = keys[i]
-                yield node, dim, value, targets[i]
+            pair = over.get(node) if over else None
+            if pair is not None:
+                o_keys, o_targets = pair
+                for (dim, value), target in zip(o_keys, o_targets):
+                    yield node, dim, value, target
+            elif node < base_n:
+                for i in range(start[node], start[node + 1]):
+                    dim, value = keys[i]
+                    yield node, dim, value, targets[i]
 
     def iter_children_of(self, node: int) -> Iterator[tuple]:
-        start, keys = self._edge_start, self._edge_keys
+        over = self._edge_over
+        pair = over.get(node) if over else None
+        if pair is not None:
+            keys, children = pair
+            for (dim, value), child in zip(keys, children):
+                yield dim, value, child
+            return
+        start, base_keys = self._edge_start, self._edge_keys
         for i in range(start[node], start[node + 1]):
-            dim, value = keys[i]
+            dim, value = base_keys[i]
             yield dim, value, self._edge_child[i]
 
     def iter_links_of(self, node: int) -> Iterator[tuple]:
-        start, keys = self._link_start, self._link_keys
+        over = self._link_over
+        pair = over.get(node) if over else None
+        if pair is not None:
+            keys, targets = pair
+            for (dim, value), target in zip(keys, targets):
+                yield dim, value, target
+            return
+        start, base_keys = self._link_start, self._link_keys
         for i in range(start[node], start[node + 1]):
-            dim, value = keys[i]
+            dim, value = base_keys[i]
             yield dim, value, self._link_target[i]
 
     # -- traversal protocol --------------------------------------------------
 
     def child(self, node: int, dim: int, value) -> Optional[int]:
         """Tree child of ``node`` labeled ``(dim, value)``, or None."""
+        over = self._edge_over
+        if over is not None:
+            pair = over.get(node)
+            if pair is not None:
+                keys, children = pair
+                try:
+                    i = bisect_left(keys, (dim, value))
+                except TypeError:
+                    return None
+                if i < len(keys) and keys[i] == (dim, value):
+                    return children[i]
+                return None
         lo, hi = self._edge_start[node], self._edge_start[node + 1]
         try:
             i = bisect_left(self._edge_keys, (dim, value), lo, hi)
@@ -277,6 +563,18 @@ class FrozenQCTree:
 
     def link_target(self, node: int, dim: int, value) -> Optional[int]:
         """Link target of ``node`` labeled ``(dim, value)``, or None."""
+        over = self._link_over
+        if over is not None:
+            pair = over.get(node)
+            if pair is not None:
+                keys, targets = pair
+                try:
+                    i = bisect_left(keys, (dim, value))
+                except TypeError:
+                    return None
+                if i < len(keys) and keys[i] == (dim, value):
+                    return targets[i]
+                return None
         lo, hi = self._link_start[node], self._link_start[node + 1]
         try:
             i = bisect_left(self._link_keys, (dim, value), lo, hi)
@@ -293,6 +591,19 @@ class FrozenQCTree:
 
     def children_in_dim(self, node: int, dim: int) -> dict:
         """Mapping ``value -> child`` of ``node``'s tree children in ``dim``."""
+        over = self._edge_over
+        if over is not None:
+            pair = over.get(node)
+            if pair is not None:
+                keys, children = pair
+                first = bisect_left(keys, (dim,))
+                out = {}
+                for i in range(first, len(keys)):
+                    d, value = keys[i]
+                    if d != dim:
+                        break
+                    out[value] = children[i]
+                return out
         lo, hi = self._edge_start[node], self._edge_start[node + 1]
         keys = self._edge_keys
         first = bisect_left(keys, (dim,), lo, hi)
@@ -488,7 +799,10 @@ class FrozenQCTree:
         }
 
     def __repr__(self):
+        mode = self.patch_stats.get("mode", "fresh")
+        flag = "" if mode == "fresh" else f", {mode}"
         return (
             f"FrozenQCTree(nodes={self.n_nodes}, links={self.n_links}, "
-            f"classes={self.n_classes}, aggregate={self.aggregate.name})"
+            f"classes={self.n_classes}, aggregate={self.aggregate.name}"
+            f"{flag})"
         )

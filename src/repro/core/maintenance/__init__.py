@@ -1,5 +1,6 @@
 """Incremental maintenance of QC-trees (insertions and deletions)."""
 
+from repro.core.maintenance.delta import MaintenanceDelta
 from repro.core.maintenance.insert import (
     apply_insertions, batch_insert, insert_one_by_one,
 )
@@ -8,6 +9,7 @@ from repro.core.maintenance.delete import (
 )
 
 __all__ = [
+    "MaintenanceDelta",
     "apply_insertions", "batch_insert", "insert_one_by_one",
     "apply_deletions", "batch_delete", "delete_one_by_one",
 ]

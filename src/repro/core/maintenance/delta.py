@@ -1,0 +1,133 @@
+"""``MaintenanceDelta`` — the dirty set of an incremental maintenance batch.
+
+Section 5 of the paper sells QC-trees on incremental maintenance:
+Algorithms 5–7 touch only the subtrees affected by an insert or delete.
+This module makes that locality a first-class artifact.  While a batch
+runs, the mutable :class:`~repro.core.qctree.QCTree` records every node
+it creates, removes, re-aggregates, or re-links into the active delta
+(see :meth:`QCTree.begin_delta <repro.core.qctree.QCTree.begin_delta>`),
+and :meth:`FrozenQCTree.patch <repro.core.frozen.FrozenQCTree.patch>`
+later consumes the delta to splice *only those nodes* into the frozen
+serving view instead of recompiling it from scratch.
+
+The delta is a *dirty set*, not an event log: it names which node ids
+changed, and the post-mutation tree is the ground truth for what they
+changed *to*.  That makes composition trivial (merging two deltas is a
+set union) and makes node-id reuse safe — a node pruned by one batch and
+recreated by the next is simply a dirty id whose current content is
+re-read at patch time.
+
+Recorded categories (they may overlap):
+
+``created``
+    nodes allocated by the batch (new class bounds and their path nodes);
+``removed``
+    nodes pruned by the batch (their ids may later be reused);
+``restated``
+    nodes whose aggregate state changed (updated, split, or cleared);
+``relinked``
+    nodes whose outgoing drill-down links changed;
+``reedged``
+    nodes whose tree-edge set changed (a child was added or pruned).
+"""
+
+from __future__ import annotations
+
+
+class MaintenanceDelta:
+    """Dirty node ids of one (or several merged) maintenance batches.
+
+    Instances are produced by :meth:`QCTree.begin_delta
+    <repro.core.qctree.QCTree.begin_delta>` /
+    :meth:`~repro.core.qctree.QCTree.end_delta` and consumed by
+    :meth:`FrozenQCTree.patch <repro.core.frozen.FrozenQCTree.patch>`.
+    ``tree`` is the tree the delta was recorded against — patching reads
+    the dirty nodes' current content from it.
+    """
+
+    __slots__ = ("tree", "created", "removed", "restated", "relinked",
+                 "reedged")
+
+    def __init__(self, tree):
+        self.tree = tree
+        self.created: set = set()
+        self.removed: set = set()
+        self.restated: set = set()
+        self.relinked: set = set()
+        self.reedged: set = set()
+
+    # -- recording hooks (called by QCTree primitives) -----------------------
+
+    def note_created(self, node: int) -> None:
+        self.created.add(node)
+        self.removed.discard(node)
+
+    def note_removed(self, node: int) -> None:
+        self.removed.add(node)
+
+    def note_state(self, node: int) -> None:
+        self.restated.add(node)
+
+    def note_links(self, node: int) -> None:
+        self.relinked.add(node)
+
+    def note_edges(self, node: int) -> None:
+        self.reedged.add(node)
+
+    # -- consumption ---------------------------------------------------------
+
+    @property
+    def dirty(self) -> set:
+        """Every node id the batch touched, in any way."""
+        return (
+            self.created | self.removed | self.restated
+            | self.relinked | self.reedged
+        )
+
+    def __len__(self) -> int:
+        return len(self.dirty)
+
+    def __bool__(self) -> bool:
+        # An empty batch (e.g. inserting zero rows) is still a valid,
+        # mergeable delta.
+        return True
+
+    def merge(self, other: "MaintenanceDelta") -> "MaintenanceDelta":
+        """Compose two deltas recorded against the same tree, in order.
+
+        Dirty sets compose by union: the post-mutation tree is the
+        ground truth for the content of every dirty node, so which batch
+        dirtied a node (or whether a pruned id was reused in between)
+        does not matter.
+        """
+        if other.tree is not self.tree:
+            raise ValueError(
+                "cannot merge maintenance deltas recorded against "
+                "different trees"
+            )
+        merged = MaintenanceDelta(self.tree)
+        merged.created = self.created | other.created
+        merged.removed = self.removed | other.removed
+        merged.restated = self.restated | other.restated
+        merged.relinked = self.relinked | other.relinked
+        merged.reedged = self.reedged | other.reedged
+        return merged
+
+    def summary(self) -> dict:
+        """Per-category counts (for stats, logs, and the benchmarks)."""
+        return {
+            "dirty": len(self.dirty),
+            "created": len(self.created),
+            "removed": len(self.removed),
+            "restated": len(self.restated),
+            "relinked": len(self.relinked),
+            "reedged": len(self.reedged),
+        }
+
+    def __repr__(self):
+        s = self.summary()
+        return (
+            f"MaintenanceDelta(dirty={s['dirty']}, created={s['created']}, "
+            f"removed={s['removed']}, restated={s['restated']}, "
+            f"relinked={s['relinked']}, reedged={s['reedged']})"
+        )

@@ -93,6 +93,7 @@ class QCTree:
         self.links: list = [{}]      # node -> {dim: {value: target_id}}
         self.state: list = [None]    # node -> aggregate state or None
         self.root = 0
+        self._delta = None           # active MaintenanceDelta recorder
 
     # -- size & iteration ---------------------------------------------------
 
@@ -168,6 +169,32 @@ class QCTree:
             for value, target in by_value.items():
                 yield dim, value, target
 
+    # -- dirty-set recording --------------------------------------------------
+
+    def begin_delta(self):
+        """Start recording mutations into a fresh
+        :class:`~repro.core.maintenance.delta.MaintenanceDelta`.
+
+        Every structural primitive (node creation, state change, link
+        add/remove, pruning) notes the node it touches until
+        :meth:`end_delta`.  The delta is the input to
+        :meth:`FrozenQCTree.patch
+        <repro.core.frozen.FrozenQCTree.patch>`, which splices exactly
+        those nodes into the frozen serving view instead of recompiling
+        it.  Recording is off by default and costs nothing when off.
+        """
+        from repro.core.maintenance.delta import MaintenanceDelta
+
+        delta = MaintenanceDelta(self)
+        self._delta = delta
+        return delta
+
+    def end_delta(self):
+        """Stop recording; returns the delta (None if none was active)."""
+        delta = self._delta
+        self._delta = None
+        return delta
+
     # -- structural primitives ----------------------------------------------
 
     def child(self, node: int, dim: int, value) -> Optional[int]:
@@ -212,6 +239,9 @@ class QCTree:
             self.links.append({})
             self.state.append(None)
         self.children[parent].setdefault(dim, {})[value] = node
+        if self._delta is not None:
+            self._delta.note_created(node)
+            self._delta.note_edges(parent)
         return node
 
     def insert_path(self, upper_bound: Cell) -> int:
@@ -270,18 +300,25 @@ class QCTree:
         if self.child(source, dim, value) == target:
             return
         self.links[source].setdefault(dim, {})[value] = target
+        if self._delta is not None:
+            self._delta.note_links(source)
 
     def remove_link(self, source: int, dim: int, value) -> None:
         """Drop the link labeled ``(dim, value)`` out of ``source`` if present."""
         by_dim = self.links[source].get(dim)
         if by_dim is not None:
+            removed = value in by_dim
             by_dim.pop(value, None)
             if not by_dim:
                 del self.links[source][dim]
+            if removed and self._delta is not None:
+                self._delta.note_links(source)
 
     def set_state(self, node: int, state) -> None:
         """Attach an aggregate state, making ``node`` a class node."""
         self.state[node] = state
+        if self._delta is not None:
+            self._delta.note_state(node)
 
     def incoming_links(self) -> dict:
         """``{target: {(src, dim, value), ...}}`` over all current links.
@@ -306,6 +343,9 @@ class QCTree:
         :meth:`incoming_links` snapshot.
         """
         self.state[node] = None
+        delta = self._delta
+        if delta is not None:
+            delta.note_state(node)
         if incoming is None:
             incoming = self.incoming_links()
         while (
@@ -328,6 +368,9 @@ class QCTree:
             self.links[node] = {}
             self._free_ids = self._free()
             self._free_ids.add(node)
+            if delta is not None:
+                delta.note_removed(node)
+                delta.note_edges(parent)
             node = parent
 
     def freeze(self) -> "FrozenQCTree":

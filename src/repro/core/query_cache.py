@@ -113,6 +113,15 @@ class LsnQueryCache:
         self.misses = 0
         self.invalidations = 0
         self.evictions = 0
+        #: Per-key demand counts.  Unlike the entries, heat *survives*
+        #: stamp invalidation — that is the point: after a snapshot swap
+        #: it remembers which answers were hottest, so the writer can
+        #: re-fill them (:meth:`hot_keys`) instead of serving every
+        #: reader a cold miss.  Decayed on invalidation so old workloads
+        #: fade rather than pinning the warm set forever.
+        self._heat: dict = {}
+        #: Entries re-filled by cache warming (bumped by the warmer).
+        self.warmed = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -130,6 +139,7 @@ class LsnQueryCache:
         comparison and the answer there is no window where an old entry
         can be served against new data.
         """
+        self._note_heat(key)
         if stamp != self._stamp:
             self.invalidate(stamp)
             self.misses += 1
@@ -143,6 +153,21 @@ class LsnQueryCache:
         self.hits += 1
         return value
 
+    def _note_heat(self, key) -> None:
+        heat = self._heat
+        heat[key] = heat.get(key, 0) + 1
+        if len(heat) > 4 * self.maxsize:
+            # Keep the heat table bounded: drop the cold tail.
+            keep = sorted(heat, key=heat.get, reverse=True)[: 2 * self.maxsize]
+            self._heat = {k: heat[k] for k in keep}
+
+    def hot_keys(self, n: int) -> list:
+        """The ``n`` most-demanded keys, hottest first (for cache warming)."""
+        if n <= 0 or not self._heat:
+            return []
+        heat = self._heat
+        return sorted(heat, key=heat.get, reverse=True)[:n]
+
     def store(self, key, stamp, value) -> None:
         """Remember ``key -> value`` as valid at ``stamp``."""
         if stamp != self._stamp:
@@ -153,10 +178,16 @@ class LsnQueryCache:
             self.evictions += 1
 
     def invalidate(self, stamp=None) -> None:
-        """Drop every entry and re-pin the cache to ``stamp``."""
+        """Drop every entry and re-pin the cache to ``stamp``.
+
+        Heat is halved, not cleared: the next warm pass still knows what
+        was hot, while a workload shift stops being remembered after a
+        few swaps.
+        """
         self._entries.clear()
         self._stamp = stamp
         self.invalidations += 1
+        self._heat = {k: h // 2 for k, h in self._heat.items() if h > 1}
 
     def stats(self) -> dict:
         """Hit/miss/size counters (for ``QCWarehouse.stats`` and benchmarks)."""
@@ -168,6 +199,8 @@ class LsnQueryCache:
             "misses": self.misses,
             "invalidations": self.invalidations,
             "evictions": self.evictions,
+            "warmed": self.warmed,
+            "hot_tracked": len(self._heat),
             "hit_rate": (self.hits / lookups) if lookups else 0.0,
         }
 

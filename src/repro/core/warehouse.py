@@ -68,8 +68,12 @@ class QCWarehouse:
     """A queryable, maintainable OLAP warehouse backed by a QC-tree.
 
     Reads are served from a frozen, array-backed view of the tree
-    (:meth:`QCTree.freeze <repro.core.qctree.QCTree.freeze>`) rebuilt
-    lazily after each mutation, with point answers memoized in a bounded
+    (:meth:`QCTree.freeze <repro.core.qctree.QCTree.freeze>`) brought
+    current lazily after each mutation — incrementally patched from the
+    recorded maintenance delta when the dirty set is small
+    (:meth:`FrozenQCTree.patch <repro.core.frozen.FrozenQCTree.patch>`,
+    see ``full_refreeze_ratio``), recompiled otherwise — with point
+    answers memoized in a bounded
     LRU cache stamped by the serving version (WAL LSN + local mutation
     epoch) — any insert, delete, rebuild, or recovery atomically
     invalidates every cached answer.  Pass ``serve_frozen=False`` to
@@ -79,7 +83,8 @@ class QCWarehouse:
 
     def __init__(self, table: BaseTable, aggregate="count",
                  tree=None, index_key=None, wal=None,
-                 serve_frozen: bool = True, cache_size: int = 1024):
+                 serve_frozen: bool = True, cache_size: int = 1024,
+                 full_refreeze_ratio: float = 0.25):
         self.table = table
         self.aggregate = make_aggregate(aggregate)
         self.tree = tree if tree is not None else build_qctree(table, self.aggregate)
@@ -93,6 +98,14 @@ class QCWarehouse:
         self._view: Optional[ServingSnapshot] = None
         self._cache = LsnQueryCache(cache_size) if cache_size else None
         self._epoch = 0
+        #: Dirty fraction above which the next refreeze recompiles instead
+        #: of patching (forwarded to :meth:`FrozenQCTree.patch
+        #: <repro.core.frozen.FrozenQCTree.patch>`).
+        self.full_refreeze_ratio = full_refreeze_ratio
+        self._pending_delta = None
+        #: ``patch_stats`` of the most recent refreeze (None before the
+        #: first one) — how the serving view was last brought current.
+        self.last_refreeze: Optional[dict] = None
 
     @classmethod
     def from_records(cls, records, schema: Schema, aggregate="count",
@@ -116,6 +129,17 @@ class QCWarehouse:
             return self.tree
         if self._frozen is None:
             self._frozen = self.tree.freeze()
+            self.last_refreeze = dict(self._frozen.patch_stats)
+        elif self._pending_delta is not None:
+            # Incremental refreeze: splice the accumulated dirty set into
+            # the stale frozen view instead of recompiling it — cost
+            # proportional to the maintenance delta, not the tree size.
+            self._frozen = self._frozen.patch(
+                self._pending_delta,
+                full_refreeze_ratio=self.full_refreeze_ratio,
+            )
+            self.last_refreeze = dict(self._frozen.patch_stats)
+        self._pending_delta = None
         return self._frozen
 
     def serving_stamp(self) -> tuple:
@@ -153,9 +177,24 @@ class QCWarehouse:
             stamp=self.serving_stamp(), index_key=self._index_key,
         )
 
-    def _mutated(self) -> None:
-        """Invalidate every read-path structure after a tree change."""
-        self._frozen = None
+    def _mutated(self, delta=None) -> None:
+        """Invalidate every read-path structure after a tree change.
+
+        With a recorded :class:`~repro.core.maintenance.delta.
+        MaintenanceDelta` the stale frozen view is *kept* and the delta
+        accumulated, so the next :attr:`serving_tree` access patches it
+        incrementally; without one (rebuild, recovery, degraded-mode
+        flips) the view is dropped and recompiled from scratch.
+        """
+        if (delta is not None and self._frozen is not None
+                and self._serve_frozen and not self._degraded):
+            pending = self._pending_delta
+            self._pending_delta = (
+                delta if pending is None else pending.merge(delta)
+            )
+        else:
+            self._frozen = None
+            self._pending_delta = None
         self._view = None
         self._epoch += 1
 
@@ -265,8 +304,12 @@ class QCWarehouse:
         records = [tuple(r) for r in records]
         if self.wal is not None:
             self.wal.append("insert", records)
-        self.table = apply_insertions(self.tree, self.table, records)
-        self._mutated()
+        delta = self.tree.begin_delta()
+        try:
+            self.table = apply_insertions(self.tree, self.table, records)
+        finally:
+            self.tree.end_delta()
+        self._mutated(delta)
 
     def delete(self, records) -> None:
         """Delete raw records incrementally (batch, matched on dimensions).
@@ -277,8 +320,12 @@ class QCWarehouse:
         records = [tuple(r) for r in records]
         if self.wal is not None:
             self.wal.append("delete", records)
-        self.table = apply_deletions(self.tree, self.table, records)
-        self._mutated()
+        delta = self.tree.begin_delta()
+        try:
+            self.table = apply_deletions(self.tree, self.table, records)
+        finally:
+            self.tree.end_delta()
+        self._mutated(delta)
 
     def modify(self, old_records, new_records) -> None:
         """Replace records: the paper's "modifications can be simulated by
@@ -538,6 +585,8 @@ class QCWarehouse:
         )
         if self._cache is not None:
             tree_stats["query_cache"] = self._cache.stats()
+        if self.last_refreeze is not None:
+            tree_stats["refreeze"] = dict(self.last_refreeze)
         return tree_stats
 
     def __repr__(self):

@@ -134,16 +134,25 @@ class ServerMetrics:
         requests that raised while executing (or were stranded by
         shutdown);
     ``snapshot_swaps``
-        snapshot publications by the writer path.
+        snapshot publications by the writer path;
+    ``refreeze_patched`` / ``refreeze_full``
+        how each write's refreeze was served — an incremental patch of
+        the frozen view versus a full recompile (fresh or compacted);
+    ``cache_warmed``
+        cache entries re-filled by post-swap warming.
 
     Per-op histograms measure *service* latency (worker execution); the
     workload drivers separately measure client-observed latency, which
-    adds queueing delay.
+    adds queueing delay.  Histograms named ``write_phase:<phase>``
+    (maintain / refreeze / publish / warm) are reported separately under
+    ``write_phases`` in :meth:`to_dict`, splitting the writer's total
+    ``write:<op>`` time into its pipeline stages.
     """
 
     COUNTERS = (
         "submitted", "completed", "shed", "timeouts", "errors",
-        "snapshot_swaps",
+        "snapshot_swaps", "refreeze_patched", "refreeze_full",
+        "cache_warmed",
     )
 
     def __init__(self):
@@ -172,7 +181,12 @@ class ServerMetrics:
         self.histogram(op).observe(seconds)
 
     def to_dict(self) -> dict:
-        """A JSON-ready readout of every counter and histogram."""
+        """A JSON-ready readout of every counter and histogram.
+
+        Write-phase histograms are grouped under ``write_phases`` (keyed
+        by bare phase name) instead of ``ops``.
+        """
+        phase_prefix = "write_phase:"
         return {
             "counters": {
                 name: c.value for name, c in sorted(self._counters.items())
@@ -180,5 +194,11 @@ class ServerMetrics:
             "ops": {
                 op: h.snapshot()
                 for op, h in sorted(self._histograms.items())
+                if not op.startswith(phase_prefix)
+            },
+            "write_phases": {
+                op[len(phase_prefix):]: h.snapshot()
+                for op, h in sorted(self._histograms.items())
+                if op.startswith(phase_prefix)
             },
         }

@@ -11,11 +11,18 @@ exactly one shared mutable reference:
   no locks on the tree and never block on writers.
 * **The writer** (callers of :meth:`QCServer.insert` / ``delete`` /
   ``modify``, serialized by one lock) applies maintenance to the
-  mutable dict tree, refreezes it *off the read path*, and publishes
-  the result by assigning the snapshot reference — an atomic swap.  A
-  reader sees either the pre- or the post-mutation snapshot, never a
-  mix: that is the linearizable-snapshot-read guarantee the stress
-  tests assert.
+  mutable dict tree, refreezes it *off the read path* — incrementally,
+  by patching the recorded maintenance delta into the previous frozen
+  view (:meth:`FrozenQCTree.patch
+  <repro.core.frozen.FrozenQCTree.patch>`) — and publishes the result
+  by assigning the snapshot reference — an atomic swap.  A reader sees
+  either the pre- or the post-mutation snapshot, never a mix: that is
+  the linearizable-snapshot-read guarantee the stress tests assert.
+  After the swap the writer *warms* the query cache by replaying the
+  hottest keys against the new snapshot, so readers do not all pay the
+  post-publication cold-miss storm.  Write latency is reported per
+  phase (``maintain`` / ``refreeze`` / ``publish`` / ``warm``) in
+  :meth:`QCServer.stats`.
 
 Admission control (bounded queue, load shedding, per-request
 deadlines) lives in :mod:`~repro.serving.admission`; request metrics in
@@ -101,11 +108,16 @@ class QCServer:
         overridable per call via ``submit(..., timeout=...)``.
     cache_size:
         Server-side stamped query cache (0 disables it).
+    warm_keys:
+        After each snapshot swap, replay up to this many of the
+        hottest cached keys against the new snapshot on the writer
+        thread (0 disables warming).
     """
 
     def __init__(self, warehouse, workers: int = 4, queue_size: int = 128,
                  default_timeout: Optional[float] = None,
-                 cache_size: int = 4096, name: str = "qcserver"):
+                 cache_size: int = 4096, warm_keys: int = 32,
+                 name: str = "qcserver"):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         self.warehouse = warehouse
@@ -119,6 +131,7 @@ class QCServer:
         self._closed = False
         self._cache = LsnQueryCache(cache_size) if cache_size else None
         self._cache_lock = threading.Lock()
+        self._warm_keys = warm_keys
         self._snapshot = self._build_snapshot()
         self._workers = [
             threading.Thread(
@@ -319,11 +332,79 @@ class QCServer:
     def _mutate(self, op: str, apply) -> None:
         if self._closed:
             raise ServerClosedError("server is closed")
-        start = time.monotonic()
+        metrics = self._metrics
         with self._write_lock:
+            t0 = time.monotonic()
             apply()
+            t1 = time.monotonic()
+            # Bring the frozen view current *before* building the
+            # snapshot, so the refreeze (incremental patch or full
+            # recompile) is measured as its own phase and the publish
+            # phase is just snapshot construction + the reference swap.
+            self.warehouse.serving_tree
+            t2 = time.monotonic()
             self._publish()
-        self._metrics.observe(f"write:{op}", time.monotonic() - start)
+            t3 = time.monotonic()
+            self._warm_cache()
+            t4 = time.monotonic()
+        refreeze = self.warehouse.last_refreeze
+        if refreeze is not None:
+            mode = refreeze.get("mode")
+            name = "refreeze_patched" if mode == "patched" else "refreeze_full"
+            metrics.counter(name).inc()
+        metrics.observe(f"write:{op}", t4 - t0)
+        metrics.observe("write_phase:maintain", t1 - t0)
+        metrics.observe("write_phase:refreeze", t2 - t1)
+        metrics.observe("write_phase:publish", t3 - t2)
+        metrics.observe("write_phase:warm", t4 - t3)
+
+    # -- cache warming (writer thread, post-swap) ----------------------------
+
+    def _warm_cache(self) -> None:
+        """Replay the hottest cached keys against the just-published
+        snapshot, so readers find warm answers instead of a post-swap
+        cold-miss storm.  Runs on the writer thread, inside the write
+        lock — the published snapshot cannot change underneath it."""
+        cache = self._cache
+        if cache is None or self._warm_keys <= 0:
+            return
+        snapshot = self._snapshot
+        with self._cache_lock:
+            keys = cache.hot_keys(self._warm_keys)
+        warmed = 0
+        for key in keys:
+            try:
+                value = self._replay(snapshot, key)
+            except Exception:
+                continue  # e.g. a label deleted by this very write
+            with self._cache_lock:
+                cache.store(key, snapshot.stamp, value)
+            warmed += 1
+        if warmed:
+            with self._cache_lock:
+                cache.warmed += warmed
+            self._metrics.counter("cache_warmed").inc(warmed)
+
+    @staticmethod
+    def _replay(snapshot, key):
+        """Recompute the answer a cache key denotes against ``snapshot``.
+
+        Normalized range specs are themselves valid raw specs (``"*"``
+        strings and candidate tuples), so every namespaced key family
+        can be replayed verbatim.
+        """
+        kind = key[0]
+        if kind == "point":
+            return snapshot.point(key[1])
+        if kind == "range":
+            return snapshot.range(key[1])
+        if kind == "iceberg":
+            return snapshot.iceberg(key[1], op=key[2])
+        if kind == "iceberg_range":
+            return snapshot.iceberg_in_range(
+                key[1], key[2], op=key[3], strategy=key[4]
+            )
+        raise QueryError(f"unknown cache key namespace {kind!r}")
 
     # -- lifecycle & reporting -----------------------------------------------
 
@@ -369,6 +450,8 @@ class QCServer:
         stats["cache"] = (
             self._cache.stats() if self._cache is not None else None
         )
+        refreeze = self.warehouse.last_refreeze
+        stats["refreeze"] = dict(refreeze) if refreeze is not None else None
         stats["closed"] = self._closed
         return stats
 

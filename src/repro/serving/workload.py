@@ -260,4 +260,16 @@ def run_mixed(server, requests, clients: int, write_batches,
         "batches": len(write_batches),
         "latency": _latency_summary(write_latencies),
     }
+    # Per-phase write breakdown (maintain / refreeze / publish / warm)
+    # from the server's own histograms, so BENCH files track where the
+    # write path spends its time over time.
+    try:
+        phases = server.stats().get("write_phases", {})
+    except AttributeError:
+        phases = {}
+    if phases:
+        read_result["writes"]["phases"] = {
+            f"{phase}_us": snap
+            for phase, snap in sorted(phases.items())
+        }
     return read_result

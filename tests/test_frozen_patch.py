@@ -1,0 +1,342 @@
+"""Incremental refreeze: delta recording and ``FrozenQCTree.patch``.
+
+The contract under test: a patched frozen view is *observationally
+identical* to a from-scratch ``freeze()`` of the mutated dict tree —
+same signature (upper bounds, aggregates, links), same answers for
+every query family — no matter how mutations chain, which fallback
+path fires, or how often compaction reclaims spare capacity.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cells import ALL
+from repro.core.construct import build_qctree
+from repro.core.maintenance import (
+    MaintenanceDelta,
+    apply_deletions,
+    apply_insertions,
+)
+from repro.core.point_query import point_query
+from repro.core.warehouse import QCWarehouse
+from tests.conftest import all_cells, approx_equal, make_random_table
+
+
+def _build(seed, **kwargs):
+    table = make_random_table(seed, **kwargs)
+    tree = build_qctree(table, ("sum", "m"))
+    return table, tree
+
+
+def _random_record(table, rng, fresh_labels=False):
+    """A raw single-tuple record; ``fresh_labels`` mints unseen labels."""
+    cell = []
+    for dim in range(table.n_dims):
+        card = table.cardinality(dim)
+        if fresh_labels and rng.random() < 0.5:
+            cell.append(card + rng.randrange(3))
+        else:
+            cell.append(rng.randrange(card))
+    raw = tuple(
+        table.decode_value(d, c) if c < table.cardinality(d) else c
+        for d, c in enumerate(cell)
+    )
+    return raw + (float(rng.randint(0, 9)),)
+
+
+def _mutate_once(tree, table, rng, op=None):
+    """One recorded random mutation; returns ``(table, delta)``."""
+    if op is None:
+        op = rng.choice(("insert", "insert_new", "delete"))
+    tree.begin_delta()
+    try:
+        if op == "delete" and table.rows:
+            i = rng.randrange(len(table.rows))
+            rec = table.decode_cell(table.rows[i]) + tuple(table.measures[i])
+            table = apply_deletions(tree, table, [rec])
+        else:
+            rec = _random_record(table, rng, fresh_labels=op == "insert_new")
+            table = apply_insertions(tree, table, [rec])
+    finally:
+        delta = tree.end_delta()
+    return table, delta
+
+
+def _assert_equivalent(patched, tree, table):
+    """Patched view vs from-scratch compile: structure and answers."""
+    full = tree.freeze()
+    assert patched.signature() == full.signature()
+    assert patched.n_nodes == full.n_nodes
+    assert patched.n_links == full.n_links
+    assert patched.n_classes == full.n_classes
+    if table.n_rows and table.n_dims <= 3:
+        for cell in all_cells(table):
+            assert approx_equal(
+                point_query(patched, cell), point_query(full, cell)
+            )
+
+
+class TestDeltaRecording:
+    def test_insert_records_dirty_nodes(self):
+        table, tree = _build(0, n_dims=3, cardinality=3, n_rows=8)
+        delta = tree.begin_delta()
+        apply_insertions(tree, table, [("9", "9", "9", 1.0)])
+        assert tree.end_delta() is delta
+        assert delta.created  # brand-new path/class nodes
+        assert len(delta) == len(delta.dirty) > 0
+        assert delta.tree is tree
+
+    def test_delete_records_removed_nodes(self):
+        table, tree = _build(1, n_dims=3, cardinality=2, n_rows=6)
+        rec = table.decode_cell(table.rows[0]) + tuple(table.measures[0])
+        tree.begin_delta()
+        apply_deletions(tree, table, [rec])
+        delta = tree.end_delta()
+        assert delta.restated or delta.removed
+        free = tree._free()
+        assert delta.removed <= free | delta.created
+
+    def test_recording_stops_after_end_delta(self):
+        table, tree = _build(2, n_dims=3, cardinality=3, n_rows=8)
+        tree.begin_delta()
+        delta = tree.end_delta()
+        before = len(delta)
+        apply_insertions(tree, table, [("9", "9", "9", 1.0)])
+        assert len(delta) == before
+
+    def test_empty_delta_patch_returns_same_view(self):
+        _, tree = _build(3, n_dims=3, cardinality=3, n_rows=8)
+        frozen = tree.freeze()
+        tree.begin_delta()
+        delta = tree.end_delta()
+        assert len(delta) == 0
+        assert frozen.patch(delta) is frozen
+
+    def test_merge_unions_categories(self):
+        _, tree = _build(4, n_dims=2, cardinality=2, n_rows=4)
+        a, b = MaintenanceDelta(tree), MaintenanceDelta(tree)
+        a.note_created(1)
+        a.note_state(2)
+        b.note_removed(3)
+        b.note_links(2)
+        merged = a.merge(b)
+        assert merged.created == {1}
+        assert merged.removed == {3}
+        assert merged.dirty == {1, 2, 3}
+
+    def test_merge_rejects_foreign_tree(self):
+        _, tree_a = _build(5, n_dims=2, cardinality=2, n_rows=4)
+        _, tree_b = _build(6, n_dims=2, cardinality=2, n_rows=4)
+        with pytest.raises(ValueError):
+            MaintenanceDelta(tree_a).merge(MaintenanceDelta(tree_b))
+
+    def test_copy_does_not_inherit_recorder(self):
+        table, tree = _build(7, n_dims=3, cardinality=3, n_rows=8)
+        delta = tree.begin_delta()
+        clone = tree.copy()
+        apply_insertions(clone, table, [("9", "9", "9", 1.0)])
+        tree.end_delta()
+        # what_if / transactional copies must not pollute the recording.
+        assert len(delta) == 0
+
+
+class TestPatchEquivalence:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_chained_single_tuple_mutations(self, seed):
+        table, tree = _build(seed, n_dims=3, cardinality=3, n_rows=14)
+        frozen = tree.freeze()
+        rng = random.Random(seed)
+        for _ in range(8):
+            table, delta = _mutate_once(tree, table, rng)
+            frozen = frozen.patch(delta, full_refreeze_ratio=0.9)
+            _assert_equivalent(frozen, tree, table)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_merged_multi_batch_delta(self, seed):
+        """Several batches accumulated into one delta, patched once."""
+        table, tree = _build(seed, n_dims=3, cardinality=3, n_rows=12)
+        frozen = tree.freeze()
+        rng = random.Random(seed + 100)
+        merged = None
+        for _ in range(4):
+            table, delta = _mutate_once(tree, table, rng)
+            merged = delta if merged is None else merged.merge(delta)
+        patched = frozen.patch(merged, full_refreeze_ratio=0.9)
+        _assert_equivalent(patched, tree, table)
+
+    def test_modify_through_warehouse(self):
+        table, tree = _build(3, n_dims=3, cardinality=3, n_rows=10)
+        wh = QCWarehouse(table, ("sum", "m"), tree=tree, cache_size=0)
+        wh.view  # compile the initial frozen view
+        old = table.decode_cell(table.rows[0]) + tuple(table.measures[0])
+        wh.modify([old], [("9", "9", "9", 5.0)])
+        _assert_equivalent(wh.serving_tree, wh.tree, wh.table)
+        assert wh.last_refreeze["mode"] in ("patched", "full", "compacted")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        ops=st.lists(
+            st.sampled_from(["insert", "insert_new", "delete"]),
+            min_size=1, max_size=6,
+        ),
+    )
+    def test_hypothesis_mutation_sequences(self, seed, ops):
+        table, tree = _build(seed % 50, n_dims=3, cardinality=3, n_rows=10)
+        frozen = tree.freeze()
+        rng = random.Random(seed)
+        for op in ops:
+            table, delta = _mutate_once(tree, table, rng, op=op)
+            frozen = frozen.patch(delta, full_refreeze_ratio=0.9)
+        _assert_equivalent(frozen, tree, table)
+
+    def test_all_query_families_agree(self, extended_sales_table):
+        """Point, range, iceberg, and exploration answers after a patch
+        match a recompiled warehouse exactly."""
+        wh = QCWarehouse(
+            extended_sales_table, ("sum", "Sale"), cache_size=0
+        )
+        wh.view
+        wh.insert([("S3", "P1", "s", 7.0), ("S1", "P3", "f", 2.0)])
+        wh.delete([("S2", "P2", "f", 4.0)])
+        oracle = QCWarehouse(wh.table, ("sum", "Sale"), cache_size=0)
+        assert wh.serving_tree is not None
+        for cell in [("S1", "*", "*"), ("S3", "P1", "s"), ("*", "*", "*"),
+                     ("S2", "P3", "f"), ("nope", "*", "*")]:
+            assert wh.point(cell) == oracle.point(cell)
+        spec = (["S1", "S3"], "*", "s")
+        assert wh.range(spec) == oracle.range(spec)
+        assert wh.iceberg(10.0) == oracle.iceberg(10.0)
+        assert wh.iceberg_in_range(spec, 5.0) == \
+            oracle.iceberg_in_range(spec, 5.0)
+        assert wh.class_of(("S1", "*", "s")) == oracle.class_of(("S1", "*", "s"))
+        assert wh.rollup(("S3", "P1", "s")) == oracle.rollup(("S3", "P1", "s"))
+        assert wh.drilldowns(("*", "*", "*")) == \
+            oracle.drilldowns(("*", "*", "*"))
+        assert wh.open_class(("S1", "*", "s")) == \
+            oracle.open_class(("S1", "*", "s"))
+
+
+class TestFallbackFuzz:
+    """Satellite: force ``full_refreeze_ratio`` to 0 and 1 — always-full
+    and always-patch must serve identical answers."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ratio_zero_and_one_agree(self, seed):
+        table = make_random_table(seed, n_dims=3, cardinality=3, n_rows=12)
+        always_full = QCWarehouse(
+            table, ("sum", "m"), full_refreeze_ratio=0.0, cache_size=0
+        )
+        always_patch = QCWarehouse(
+            table, ("sum", "m"), full_refreeze_ratio=1.0, cache_size=0
+        )
+        always_full.view
+        always_patch.view
+        rng = random.Random(seed)
+        for step in range(6):
+            rec = _random_record(table, rng, fresh_labels=step % 2 == 0)
+            always_full.insert([rec])
+            always_patch.insert([rec])
+            for cell in all_cells(always_full.table):
+                raw = always_full.table.decode_cell(cell)
+                assert approx_equal(
+                    always_full.point(raw), always_patch.point(raw)
+                )
+        # Both warehouses exercised the path their ratio forces.
+        assert always_full.last_refreeze["mode"] in ("fresh", "full")
+        assert always_patch.last_refreeze["mode"] in ("patched", "compacted")
+
+    def test_ratio_zero_always_recompiles(self):
+        table, tree = _build(9, n_dims=3, cardinality=3, n_rows=10)
+        frozen = tree.freeze()
+        rng = random.Random(9)
+        table, delta = _mutate_once(tree, table, rng, op="insert_new")
+        out = frozen.patch(delta, full_refreeze_ratio=0.0)
+        assert out.patch_stats["mode"] == "full"
+        assert out.patch_stats["reason"] == "dirty-ratio"
+
+    def test_compaction_reclaims_spare_capacity(self):
+        """Many appended nodes accumulate overlay + tombstone debt until
+        a patch compacts — and the compacted view is dense again."""
+        table, tree = _build(10, n_dims=3, cardinality=2, n_rows=6)
+        frozen = tree.freeze()
+        rng = random.Random(10)
+        saw_compaction = False
+        for step in range(60):
+            table, delta = _mutate_once(
+                tree, table, rng,
+                op="insert_new" if step % 2 == 0 else "delete",
+            )
+            frozen = frozen.patch(delta, full_refreeze_ratio=1.0)
+            stats = frozen.patch_stats
+            if stats["mode"] == "compacted":
+                saw_compaction = True
+                # Repacked: no tombstones, no overlay, slots == live nodes.
+                assert frozen.n_nodes == len(frozen.state)
+                assert not frozen._dead
+                assert frozen._edge_over is None
+        assert saw_compaction
+        _assert_equivalent(frozen, tree, table)
+
+    def test_stride_overflow_falls_back_to_full(self):
+        """A label code past the routing-key stride headroom cannot be
+        spliced; the patch must recompile instead of mis-routing."""
+        table, tree = _build(11, n_dims=3, cardinality=3, n_rows=30)
+        frozen = tree.freeze()
+        stride = frozen._stride
+        assert stride > 0
+        # New labels mint sequential dictionary codes; enough of them in
+        # one dimension pushes a code past the stride's 2x headroom.
+        records = [(100 + i, 0, 0, 1.0) for i in range(stride)]
+        tree.begin_delta()
+        table = apply_insertions(tree, table, records)
+        delta = tree.end_delta()
+        out = frozen.patch(delta, full_refreeze_ratio=1.0)
+        assert out.patch_stats["mode"] == "full"
+        assert out.patch_stats["reason"] == "stride-overflow"
+        _assert_equivalent(out, tree, table)
+
+
+class TestWarehouseIntegration:
+    def test_small_write_patches_large_tree(self):
+        table = make_random_table(20, n_dims=4, cardinality=5, n_rows=120)
+        wh = QCWarehouse(table, ("sum", "m"), cache_size=0)
+        wh.view
+        wh.insert([_random_record(table, random.Random(0))])
+        assert wh.serving_tree is not None
+        assert wh.last_refreeze["mode"] == "patched"
+        assert wh.stats()["refreeze"]["mode"] == "patched"
+
+    def test_failed_batch_leaves_patch_path_healthy(self):
+        table = make_random_table(21, n_dims=3, cardinality=3, n_rows=10)
+        wh = QCWarehouse(table, ("sum", "m"), cache_size=0)
+        wh.view
+        with pytest.raises(Exception):
+            wh.delete([("no-such", "no-such", "no-such", 1.0)])
+        wh.insert([("9", "9", "9", 1.0)])
+        _assert_equivalent(wh.serving_tree, wh.tree, wh.table)
+
+    def test_rebuild_resets_to_fresh_compile(self):
+        table = make_random_table(22, n_dims=3, cardinality=3, n_rows=10)
+        wh = QCWarehouse(table, ("sum", "m"), cache_size=0)
+        wh.view
+        wh.insert([("9", "9", "9", 1.0)])
+        wh.rebuild()
+        assert wh.serving_tree.patch_stats["mode"] == "fresh"
+        _assert_equivalent(wh.serving_tree, wh.tree, wh.table)
+
+    def test_pending_deltas_accumulate_between_reads(self):
+        """Several writes with no read in between still produce one
+        correct patch when the serving tree is finally demanded."""
+        table = make_random_table(23, n_dims=3, cardinality=3, n_rows=12)
+        wh = QCWarehouse(table, ("sum", "m"), cache_size=0)
+        wh.view
+        rng = random.Random(23)
+        for _ in range(4):
+            wh.insert([_random_record(wh.table, rng)])
+        _assert_equivalent(wh.serving_tree, wh.tree, wh.table)

@@ -276,3 +276,44 @@ class TestWarehouseIntegration:
             assert frozen_wh.point(cell) == dict_wh.point(cell)
         assert dict_wh.stats()["serving"] == "dict"
         assert frozen_wh.stats()["serving"] == "frozen"
+
+
+class TestHeatTracking:
+    """Demand heat survives invalidation so the warmer knows what to
+    replay after a snapshot swap."""
+
+    def test_hot_keys_ordered_by_demand(self):
+        cache = LsnQueryCache(maxsize=8)
+        for _ in range(3):
+            cache.lookup("hot", stamp=1)
+        cache.lookup("warm", stamp=1)
+        assert cache.hot_keys(2) == ["hot", "warm"]
+        assert cache.hot_keys(0) == []
+
+    def test_heat_survives_invalidation(self):
+        cache = LsnQueryCache(maxsize=8)
+        for _ in range(4):
+            cache.lookup("hot", stamp=1)
+        cache.invalidate(stamp=2)
+        assert cache.hot_keys(1) == ["hot"]
+
+    def test_heat_decays_across_invalidations(self):
+        cache = LsnQueryCache(maxsize=8)
+        cache.lookup("once", stamp=1)
+        cache.invalidate(stamp=2)
+        # A single-hit key decays to nothing after one swap.
+        assert "once" not in cache.hot_keys(8)
+
+    def test_heat_table_stays_bounded(self):
+        cache = LsnQueryCache(maxsize=4)
+        for i in range(100):
+            cache.lookup(("k", i), stamp=1)
+        assert len(cache._heat) <= 4 * cache.maxsize
+
+    def test_warmed_counter_in_stats(self):
+        cache = LsnQueryCache(maxsize=4)
+        assert cache.stats()["warmed"] == 0
+        cache.warmed += 2
+        stats = cache.stats()
+        assert stats["warmed"] == 2
+        assert "hot_tracked" in stats

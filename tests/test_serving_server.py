@@ -261,3 +261,62 @@ class TestMetrics:
         metrics = ServerMetrics()
         metrics.counter("special").inc(3)
         assert metrics.to_dict()["counters"]["special"] == 3
+
+
+class TestWritePath:
+    """The phased write pipeline: maintain -> refreeze -> publish -> warm."""
+
+    def test_write_phase_split_in_stats(self, server):
+        server.insert([("S3", "P1", "s", 5.0)])
+        stats = server.stats()
+        phases = stats["write_phases"]
+        for phase in ("maintain", "refreeze", "publish", "warm"):
+            assert phases[phase]["count"] == 1
+        # Phase histograms are grouped, not duplicated under ops.
+        assert not any(op.startswith("write_phase:") for op in stats["ops"])
+        counters = stats["counters"]
+        assert counters["refreeze_patched"] + counters["refreeze_full"] == 1
+        assert stats["refreeze"]["mode"] in ("patched", "full", "compacted",
+                                             "fresh")
+
+    def test_small_write_takes_patched_refreeze(self, sales_table):
+        # The sales tree is tiny, so one insert dirties more than the
+        # default 25% ratio; a permissive ratio proves the plumbing.
+        warehouse = QCWarehouse(sales_table, aggregate="avg(Sale)",
+                                full_refreeze_ratio=1.0)
+        with QCServer(warehouse, workers=2) as server:
+            server.point(("S2", "*", "f"))  # compile the initial view
+            server.insert([("S3", "P1", "s", 5.0)])
+            stats = server.stats()
+            assert stats["refreeze"]["mode"] == "patched"
+            assert stats["counters"]["refreeze_patched"] == 1
+
+    def test_cache_warmed_after_swap(self, warehouse):
+        with QCServer(warehouse, workers=2, warm_keys=8) as server:
+            for _ in range(3):
+                assert server.point(("S2", "*", "f")) == 9.0
+            server.insert([("S3", "P1", "s", 5.0)])
+            stats = server.stats()
+            assert stats["counters"]["cache_warmed"] > 0
+            assert stats["cache"]["warmed"] > 0
+            # The warmed answer is correct on the new snapshot.
+            assert server.point(("S2", "*", "f")) == 9.0
+
+    def test_warm_keys_zero_disables_warming(self, sales_table):
+        warehouse = QCWarehouse(sales_table, aggregate="avg(Sale)")
+        with QCServer(warehouse, workers=2, warm_keys=0) as server:
+            for _ in range(3):
+                server.point(("S2", "*", "f"))
+            server.insert([("S3", "P1", "s", 5.0)])
+            stats = server.stats()
+            assert stats["counters"]["cache_warmed"] == 0
+            assert stats["write_phases"]["warm"]["count"] == 1
+
+    def test_warmed_answers_reflect_the_write(self, warehouse):
+        """Warming replays against the *new* snapshot: a cell the write
+        changed must be re-cached with its post-write answer."""
+        with QCServer(warehouse, workers=2, warm_keys=8) as server:
+            for _ in range(3):
+                assert server.point(("S1", "P1", "s")) == 6.0
+            server.insert([("S1", "P1", "s", 12.0)])  # avg becomes 9.0
+            assert server.point(("S1", "P1", "s")) == 9.0
