@@ -1,0 +1,286 @@
+"""Batched vs per-tuple maintenance — the Algorithms 5–7 fast path.
+
+Not a paper figure: this benchmark tracks the batched maintenance
+engine (:func:`~repro.core.maintenance.maintain_batch`) against the
+per-tuple baseline on the Figure-14 synthetic setup (20000 rows, 6
+dims, cardinality 30, Zipf factor 2).  For each batch size it drives
+the same insert stream both ways from identical tree copies:
+
+* **batched** — one ``maintain_batch`` call per batch: one Δ-partition
+  DFS, one shared closure/cover cache, at most one new-table cover
+  index for the whole batch, one merged delta;
+* **sequential** — one single-tuple maintenance call per tuple (the
+  paper's algorithms as written), re-deriving all of it per tuple;
+
+plus a **mixed** configuration (half deletes, half inserts per batch)
+exercising the §3.3 one-transaction modification path.  Every
+configuration is closed by the differential oracle: batched tree ≡
+sequential tree ≡ from-scratch rebuild of the final table, by exact
+signature.
+
+Results go to ``BENCH_maintenance.json`` at the repo root (committed,
+diffable PR over PR) and a table under ``benchmarks/results/``.  The
+acceptance bar is ≥3× batched-vs-sequential at batch size 64 at full
+scale; ``--quick`` (or ``REPRO_BENCH_QUICK=1``) scales down for CI
+smoke runs but still enforces batched < sequential as a regression
+guard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import statistics
+import sys
+import time
+
+from common import print_table
+from repro.core.construct import build_qctree
+from repro.core.maintenance import (
+    maintain_batch,
+    apply_deletions,
+    apply_insertions,
+)
+from repro.data.synthetic import zipf_table
+
+OUT_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_maintenance.json"
+)
+
+FULL = dict(n_rows=20000, n_dims=6, card=30, batch_sizes=[4, 16, 64],
+            tuples_per_size=128, accept_batch=64, min_speedup=3.0)
+QUICK = dict(n_rows=800, n_dims=5, card=20, batch_sizes=[4, 16],
+             tuples_per_size=32, accept_batch=16, min_speedup=1.0)
+
+
+def _quick_from_env() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def _base(config):
+    table = zipf_table(config["n_rows"], config["n_dims"], config["card"],
+                       seed=0)
+    tree = build_qctree(table, "count")
+    return table, tree
+
+
+def _insert_records(table, config, count, seed):
+    """In-domain raw insert records (no fresh labels, so both engines
+    share one encoding and trees compare by exact signature)."""
+    rng = random.Random(seed)
+    records = []
+    for _ in range(count):
+        cell = tuple(
+            rng.randrange(config["card"]) for _ in range(config["n_dims"])
+        )
+        records.append(table.decode_cell(cell) + (1.0,))
+    return records
+
+
+def _delete_records(table, rng, count):
+    """Raw delete records naming distinct existing rows."""
+    picks = rng.sample(range(table.n_rows), count)
+    return [
+        table.decode_cell(table.rows[i]) + tuple(table.measures[i])
+        for i in picks
+    ]
+
+
+def _oracle(batched_tree, batched_table, seq_tree, seq_table) -> bool:
+    """batched ≡ sequential ≡ rebuild, by exact signature."""
+    sig = batched_tree.signature()
+    if sig != seq_tree.signature():
+        return False
+    if sorted(batched_table.rows) != sorted(seq_table.rows):
+        return False
+    return sig == build_qctree(batched_table, "count").signature()
+
+
+def measure_insert_sweep(config) -> list:
+    """Batched vs per-tuple insert maintenance across batch sizes."""
+    base_table, base_tree = _base(config)
+    out = []
+    for batch_size in config["batch_sizes"]:
+        n_batches = max(1, config["tuples_per_size"] // batch_size)
+        records = _insert_records(
+            base_table, config, n_batches * batch_size, seed=batch_size
+        )
+        batches = [
+            records[i * batch_size:(i + 1) * batch_size]
+            for i in range(n_batches)
+        ]
+
+        batched_tree, batched_table = base_tree.copy(), base_table
+        batched_s, partition_s, merge_s, dirty = [], 0.0, 0.0, []
+        for batch in batches:
+            t0 = time.perf_counter()
+            result = maintain_batch(batched_tree, batched_table,
+                                    inserts=batch)
+            batched_s.append(time.perf_counter() - t0)
+            batched_table = result.table
+            partition_s += result.stats["partition_s"]
+            merge_s += result.stats["merge_s"]
+            dirty.append(len(result.delta))
+
+        seq_tree, seq_table = base_tree.copy(), base_table
+        sequential_s = []
+        for batch in batches:
+            t0 = time.perf_counter()
+            for record in batch:
+                seq_table = apply_insertions(seq_tree, seq_table, [record])
+            sequential_s.append(time.perf_counter() - t0)
+
+        batched_us = statistics.median(batched_s) * 1e6 / batch_size
+        sequential_us = statistics.median(sequential_s) * 1e6 / batch_size
+        out.append({
+            "batch_size": batch_size,
+            "batches": n_batches,
+            "batched_us_per_tuple": round(batched_us, 3),
+            "sequential_us_per_tuple": round(sequential_us, 3),
+            "speedup": round(sequential_us / batched_us, 3)
+            if batched_us else 0.0,
+            "partition_s": round(partition_s, 6),
+            "merge_s": round(merge_s, 6),
+            "dirty_median": statistics.median(dirty),
+            "oracle": _oracle(batched_tree, batched_table,
+                              seq_tree, seq_table),
+        })
+    return out
+
+
+def measure_mixed(config) -> dict:
+    """Half-delete half-insert batches at the acceptance batch size."""
+    base_table, base_tree = _base(config)
+    batch_size = config["accept_batch"]
+    half = batch_size // 2
+    n_batches = max(1, (config["tuples_per_size"] // batch_size) // 2) * 2
+
+    rng = random.Random(99)
+    plan = []  # (deletes, inserts) per batch, drawn against evolving rows
+    sim_table = base_table
+    for i in range(n_batches):
+        deletes = _delete_records(sim_table, rng, half)
+        inserts = _insert_records(base_table, config, half, seed=1000 + i)
+        plan.append((deletes, inserts))
+        # Keep the simulated row set current for the next batch's picks.
+        sim_table = _apply_plan_step(sim_table, deletes, inserts)
+
+    batched_tree, batched_table = base_tree.copy(), base_table
+    batched_s = []
+    for deletes, inserts in plan:
+        t0 = time.perf_counter()
+        result = maintain_batch(batched_tree, batched_table,
+                                inserts=inserts, deletes=deletes)
+        batched_s.append(time.perf_counter() - t0)
+        batched_table = result.table
+
+    seq_tree, seq_table = base_tree.copy(), base_table
+    sequential_s = []
+    for deletes, inserts in plan:
+        t0 = time.perf_counter()
+        for record in deletes:
+            seq_table = apply_deletions(seq_tree, seq_table, [record])
+        for record in inserts:
+            seq_table = apply_insertions(seq_tree, seq_table, [record])
+        sequential_s.append(time.perf_counter() - t0)
+
+    batched_us = statistics.median(batched_s) * 1e6 / batch_size
+    sequential_us = statistics.median(sequential_s) * 1e6 / batch_size
+    return {
+        "batch_size": batch_size,
+        "batches": n_batches,
+        "deletes_per_batch": half,
+        "inserts_per_batch": half,
+        "batched_us_per_tuple": round(batched_us, 3),
+        "sequential_us_per_tuple": round(sequential_us, 3),
+        "speedup": round(sequential_us / batched_us, 3)
+        if batched_us else 0.0,
+        "oracle": _oracle(batched_tree, batched_table, seq_tree, seq_table),
+    }
+
+
+def _apply_plan_step(table, deletes, inserts):
+    """Advance the plan's simulated table one batch (delete then insert)."""
+    from repro.core.maintenance.delete import resolve_deletions
+
+    mid, _ = resolve_deletions(table, deletes)
+    new_table, _ = mid.extended(inserts)
+    return new_table
+
+
+def measure(config) -> dict:
+    sweep = measure_insert_sweep(config)
+    mixed = measure_mixed(config)
+    accept = next(
+        (s for s in sweep if s["batch_size"] == config["accept_batch"]),
+        sweep[-1],
+    )
+    return {
+        "config": dict(config),
+        "insert_sweep": sweep,
+        "mixed": mixed,
+        "acceptance": {
+            "batch_size": accept["batch_size"],
+            "speedup": accept["speedup"],
+            "min_speedup": config["min_speedup"],
+            "oracle_all": all(s["oracle"] for s in sweep)
+            and mixed["oracle"],
+        },
+    }
+
+
+def report(results, out_path=OUT_PATH) -> None:
+    with open(out_path, "w") as fp:
+        json.dump(results, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    rows = [
+        [s["batch_size"], s["batched_us_per_tuple"],
+         s["sequential_us_per_tuple"], s["speedup"], s["oracle"]]
+        for s in results["insert_sweep"]
+    ]
+    mixed = results["mixed"]
+    rows.append([f"{mixed['batch_size']} (mixed)",
+                 mixed["batched_us_per_tuple"],
+                 mixed["sequential_us_per_tuple"], mixed["speedup"],
+                 mixed["oracle"]])
+    print_table(
+        "Batched vs per-tuple maintenance (us/tuple)",
+        ["batch", "batched", "sequential", "speedup", "oracle"],
+        rows,
+        result_file="maintenance_batch.txt",
+    )
+
+
+def test_maintenance_batch_report(benchmark):
+    config = QUICK if _quick_from_env() else FULL
+    results = benchmark.pedantic(measure, args=(config,),
+                                 rounds=1, iterations=1)
+    report(results)
+    # The differential oracle must close every bench configuration.
+    assert results["acceptance"]["oracle_all"], results
+    # Batched must beat sequential on every batch size measured...
+    for entry in results["insert_sweep"]:
+        assert entry["speedup"] > 1.0, entry
+    assert results["mixed"]["speedup"] > 1.0, results["mixed"]
+    # ...and clear the acceptance bar at the acceptance batch size
+    # (≥3× at batch 64 at Figure-14 scale; quick runs guard ≥1×).
+    assert results["acceptance"]["speedup"] >= \
+        results["acceptance"]["min_speedup"], results["acceptance"]
+
+
+def main(argv=None) -> int:
+    quick = _quick_from_env() or (argv is not None and "--quick" in argv) \
+        or "--quick" in sys.argv[1:]
+    results = measure(QUICK if quick else FULL)
+    report(results)
+    acceptance = results["acceptance"]
+    assert acceptance["oracle_all"], "differential oracle failed"
+    print(f"wrote {os.path.abspath(OUT_PATH)} "
+          f"(batch={acceptance['batch_size']} "
+          f"speedup={acceptance['speedup']}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@ reduced table (Theorem 2).
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 
 from repro.core.cells import ALL, Cell
@@ -97,16 +98,25 @@ def _truncate(cell: Cell, before_dim: int) -> Cell:
     return tuple(v if d < before_dim else ALL for d, v in enumerate(cell))
 
 
-def batch_delete(tree: QCTree, new_table: BaseTable, delta_rows) -> None:
+def batch_delete(tree: QCTree, new_table: BaseTable, delta_rows,
+                 timings=None) -> None:
     """Apply the deletion of ``delta_rows`` (encoded dim tuples) in place.
 
     ``new_table`` must be the base table with those rows already removed
     (see :meth:`BaseTable.without_rows`); ``delta_rows`` is the multiset of
     removed rows.  After the call the tree equals the one built from
     scratch on ``new_table``.
+
+    ``timings``, when given, accumulates elapsed seconds like
+    :func:`~repro.core.maintenance.insert.batch_insert` does:
+    *partition* covers the affected-class walk and fate classification
+    (phase 1, computed against the pre-mutation tree); *merge* covers
+    link invalidation, the structural apply, and the justification-based
+    link refresh (phases 2–4).
     """
     if not delta_rows:
         return
+    _t_start = time.perf_counter()
     agg = tree.aggregate
     n_dims = tree.n_dims
     nt_rows = new_table.rows
@@ -152,6 +162,7 @@ def batch_delete(tree: QCTree, new_table: BaseTable, delta_rows) -> None:
         else:
             state = agg.state(new_table, sorted(new_index.rows(w)))
         fates.append((ub, node, w, state))
+    _t_partition = time.perf_counter()
 
     candidates: set = set()  # (source path cell, j, v)
     incoming = tree.incoming_links()
@@ -256,17 +267,29 @@ def batch_delete(tree: QCTree, new_table: BaseTable, delta_rows) -> None:
             target = tree.path_prefix_node(justified, j)
             if target is not None:
                 tree.add_link(src, j, v, target)
+    if timings is not None:
+        timings["partition"] = timings.get("partition", 0.0) \
+            + (_t_partition - _t_start)
+        timings["merge"] = timings.get("merge", 0.0) \
+            + (time.perf_counter() - _t_partition)
 
 
-def apply_deletions(tree: QCTree, table: BaseTable, records) -> BaseTable:
-    """Delete raw records (multiset) from the warehouse; returns new table.
+class _DeltaRows(list):
+    """Deleted encoded rows, carrying their measure matrix as ``.measures``
+    so subtractable aggregates (COUNT/SUM/AVG) can be updated in place."""
 
-    Each record's dimension labels must match existing rows; measure
-    values are ignored for matching (the paper deletes by key).  Raises
-    :class:`MaintenanceError` when a record has no matching row left.
-    The operation is transactional: validation happens before any
-    mutation, and a failure inside the batch rolls the tree back, so the
-    tree (and the caller's table) is observably unchanged on error.
+
+def resolve_deletions(table: BaseTable, records):
+    """Match raw delete records against ``table``'s rows, pre-mutation.
+
+    Returns ``(new_table, delta_rows)``: the table with the matched rows
+    removed and the removed rows themselves (a list with a ``.measures``
+    array attached, the shape :func:`batch_delete` consumes).  Matching
+    is by dimension labels only (the paper deletes by key); measure
+    values in the records are ignored.  Raises
+    :class:`MaintenanceError` — before anything is derived — when a
+    record has no matching row left, so callers can validate a whole
+    (possibly mixed) batch before touching the tree.
     """
     n_dims = table.n_dims
     wanted = Counter()
@@ -289,12 +312,22 @@ def apply_deletions(tree: QCTree, table: BaseTable, records) -> BaseTable:
             f"rows not present in base table: {dict(leftovers)}"
         )
     new_table = table.without_rows(drop)
-
-    class _DeltaRows(list):
-        pass
-
     delta = _DeltaRows(table.rows[i] for i in drop)
     delta.measures = table.measures[drop]
+    return new_table, delta
+
+
+def apply_deletions(tree: QCTree, table: BaseTable, records) -> BaseTable:
+    """Delete raw records (multiset) from the warehouse; returns new table.
+
+    Each record's dimension labels must match existing rows; measure
+    values are ignored for matching (the paper deletes by key).  Raises
+    :class:`MaintenanceError` when a record has no matching row left.
+    The operation is transactional: validation happens before any
+    mutation, and a failure inside the batch rolls the tree back, so the
+    tree (and the caller's table) is observably unchanged on error.
+    """
+    new_table, delta = resolve_deletions(table, records)
     with transactional(tree):
         batch_delete(tree, new_table, delta)
     return new_table

@@ -98,7 +98,10 @@ class MaintenanceDelta:
         Dirty sets compose by union: the post-mutation tree is the
         ground truth for the content of every dirty node, so which batch
         dirtied a node (or whether a pruned id was reused in between)
-        does not matter.
+        does not matter.  The operation is associative and commutative
+        (plain set union per category), which is what lets the batched
+        maintenance engine fold any number of per-batch deltas into one
+        refreeze patch; ``a | b`` is shorthand for ``a.merge(b)``.
         """
         if other.tree is not self.tree:
             raise ValueError(
@@ -111,6 +114,36 @@ class MaintenanceDelta:
         merged.restated = self.restated | other.restated
         merged.relinked = self.relinked | other.relinked
         merged.reedged = self.reedged | other.reedged
+        return merged
+
+    __or__ = merge
+
+    def update(self, other: "MaintenanceDelta") -> None:
+        """In-place :meth:`merge` (union ``other``'s categories into self)."""
+        if other.tree is not self.tree:
+            raise ValueError(
+                "cannot merge maintenance deltas recorded against "
+                "different trees"
+            )
+        self.created |= other.created
+        self.removed |= other.removed
+        self.restated |= other.restated
+        self.relinked |= other.relinked
+        self.reedged |= other.reedged
+
+    @classmethod
+    def union(cls, tree, deltas) -> "MaintenanceDelta":
+        """Fold any number of deltas over ``tree`` into one.
+
+        The empty union is the empty (but valid, mergeable) delta —
+        patching with it is a no-op.  Because :meth:`merge` is
+        associative, ``union`` over per-tuple deltas equals the single
+        delta a batch records over the same mutation stream (the
+        property tests assert this dirty-set equality).
+        """
+        merged = cls(tree)
+        for delta in deltas:
+            merged.update(delta)
         return merged
 
     def summary(self) -> dict:

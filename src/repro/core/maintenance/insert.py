@@ -31,6 +31,8 @@ links, and class aggregates, plus exhaustive query equivalence.
 
 from __future__ import annotations
 
+import time
+
 from repro.core.cells import ALL, Cell, meet
 from repro.core.classes import enumerate_temp_classes
 from repro.core.point_query import locate
@@ -95,7 +97,8 @@ def _truncate(cell: Cell, before_dim: int) -> Cell:
     )
 
 
-def batch_insert(tree: QCTree, new_table: BaseTable, delta_table: BaseTable) -> None:
+def batch_insert(tree: QCTree, new_table: BaseTable, delta_table: BaseTable,
+                 timings=None) -> None:
     """Apply the insertion of ``delta_table``'s rows to ``tree`` in place.
 
     ``new_table`` must already contain the old rows plus the delta (use
@@ -103,6 +106,14 @@ def batch_insert(tree: QCTree, new_table: BaseTable, delta_table: BaseTable) -> 
     consistently encoded ``delta_table``).  After the call the tree equals
     the one :func:`repro.core.construct.build_qctree` builds on
     ``new_table``.
+
+    ``timings``, when given, is a dict whose ``"partition"`` and
+    ``"merge"`` entries are incremented with the elapsed seconds of the
+    two halves of the algorithm: *partition* covers the Δ-partition DFS
+    and the classification of Δ-closed cells against the old tree (steps
+    1–2); *merge* covers link derivation and the structural apply (step
+    3 onward).  The batched maintenance engine surfaces these as the
+    ``write_phases`` sub-phases.
     """
     if delta_table.n_dims != tree.n_dims:
         raise MaintenanceError(
@@ -174,6 +185,7 @@ def batch_insert(tree: QCTree, new_table: BaseTable, delta_table: BaseTable) -> 
         return meet(old, fresh)
 
     # Step 1: Δ-closed cells with their aggregate states.
+    _t_start = time.perf_counter()
     delta_states: dict = {}
     for temp in enumerate_temp_classes(delta_table, agg):
         delta_states.setdefault(temp.upper_bound, temp.state)
@@ -194,6 +206,7 @@ def batch_insert(tree: QCTree, new_table: BaseTable, delta_table: BaseTable) -> 
         w for w, node, _ in records
         if node is None or ub_of(node) != w
     ]
+    _t_partition = time.perf_counter()
 
     # Step 3a: stale-link retargets (drill-down cell covers Δ-tuples).
     retargets = []
@@ -254,6 +267,11 @@ def batch_insert(tree: QCTree, new_table: BaseTable, delta_table: BaseTable) -> 
         target = tree.path_prefix_node(w, j)
         if src is not None and target is not None:
             tree.add_link(src, j, v, target)
+    if timings is not None:
+        timings["partition"] = timings.get("partition", 0.0) \
+            + (_t_partition - _t_start)
+        timings["merge"] = timings.get("merge", 0.0) \
+            + (time.perf_counter() - _t_partition)
 
 
 def apply_insertions(tree: QCTree, table: BaseTable, records) -> BaseTable:

@@ -22,6 +22,7 @@ from typing import Optional
 
 from repro.core.construct import build_qctree
 from repro.core.iceberg import MeasureIndex
+from repro.core.maintenance.batch import maintain_batch
 from repro.core.maintenance.delete import apply_deletions
 from repro.core.maintenance.insert import apply_insertions
 from repro.core.query_cache import (
@@ -106,6 +107,12 @@ class QCWarehouse:
         #: ``patch_stats`` of the most recent refreeze (None before the
         #: first one) — how the serving view was last brought current.
         self.last_refreeze: Optional[dict] = None
+        #: Stats of the most recent :meth:`maintain` call (None before
+        #: the first one): tuple counts, ``partition_s`` / ``merge_s``
+        #: sub-phase seconds, and the delta summary.
+        self.last_maintenance: Optional[dict] = None
+        self._maintain_batched = 0
+        self._maintain_sequential = 0
 
     @classmethod
     def from_records(cls, records, schema: Schema, aggregate="count",
@@ -293,23 +300,56 @@ class QCWarehouse:
 
     # -- maintenance ------------------------------------------------------------
 
-    def insert(self, records) -> None:
-        """Insert raw records incrementally (batch).
+    def maintain(self, inserts=(), deletes=()) -> None:
+        """Apply one mixed maintenance batch through the batched engine.
+
+        Every mutating entry point (:meth:`insert`, :meth:`delete`,
+        :meth:`modify`) funnels here: deletes are applied before inserts
+        (§3.3 modification order), the whole batch runs as a single
+        :func:`~repro.core.maintenance.maintain_batch` transaction
+        recording one merged delta, and consequently produces one
+        refreeze patch and one serving-version bump.
 
         With a write-ahead log attached (:meth:`attach_wal`), the batch
-        is durably logged *before* the tree mutates, so a crash at any
-        later point is recoverable via :meth:`recover`.  The mutation
-        itself is transactional: on failure the warehouse is unchanged.
+        is durably logged *before* the tree mutates — pure batches under
+        the classic ``insert``/``delete`` ops, mixed batches as one
+        ``maintain`` record with ``-``/``+``-tagged rows — so a crash at
+        any later point is recoverable via :meth:`recover`.  An empty
+        batch is a true no-op: nothing is logged, the serving version
+        does not move, and cached answers stay valid.
         """
-        records = [tuple(r) for r in records]
+        inserts = [tuple(r) for r in inserts]
+        deletes = [tuple(r) for r in deletes]
+        if not inserts and not deletes:
+            return
         if self.wal is not None:
-            self.wal.append("insert", records)
-        delta = self.tree.begin_delta()
-        try:
-            self.table = apply_insertions(self.tree, self.table, records)
-        finally:
-            self.tree.end_delta()
-        self._mutated(delta)
+            if not deletes:
+                self.wal.append("insert", inserts)
+            elif not inserts:
+                self.wal.append("delete", deletes)
+            else:
+                tagged = [("-",) + r for r in deletes]
+                tagged += [("+",) + r for r in inserts]
+                self.wal.append("maintain", tagged)
+        result = maintain_batch(self.tree, self.table,
+                                inserts=inserts, deletes=deletes)
+        self.table = result.table
+        if len(inserts) + len(deletes) > 1:
+            self._maintain_batched += 1
+        else:
+            self._maintain_sequential += 1
+        stats = dict(result.stats)
+        stats["delta"] = result.delta.summary()
+        self.last_maintenance = stats
+        self._mutated(result.delta)
+
+    def insert(self, records) -> None:
+        """Insert raw records incrementally (one batched maintenance call).
+
+        The mutation is transactional: on failure the warehouse is
+        unchanged.  See :meth:`maintain` for the logging contract.
+        """
+        self.maintain(inserts=records)
 
     def delete(self, records) -> None:
         """Delete raw records incrementally (batch, matched on dimensions).
@@ -317,21 +357,18 @@ class QCWarehouse:
         Logged ahead of the mutation when a WAL is attached, like
         :meth:`insert`.
         """
-        records = [tuple(r) for r in records]
-        if self.wal is not None:
-            self.wal.append("delete", records)
-        delta = self.tree.begin_delta()
-        try:
-            self.table = apply_deletions(self.tree, self.table, records)
-        finally:
-            self.tree.end_delta()
-        self._mutated(delta)
+        self.maintain(deletes=records)
+
+    # Batch-oriented aliases: the serving layer's vocabulary for the
+    # same entry points (a "tuple" being one raw record).
+    insert_tuples = insert
+    delete_tuples = delete
 
     def modify(self, old_records, new_records) -> None:
         """Replace records: the paper's "modifications can be simulated by
-        deletions and insertions" (§3.3) as one warehouse operation."""
-        self.delete(old_records)
-        self.insert(new_records)
+        deletions and insertions" (§3.3), executed as ONE mixed batch —
+        one WAL record, one transaction, one delta, one refreeze patch."""
+        self.maintain(inserts=new_records, deletes=old_records)
 
     def what_if(self, insertions=(), deletions=()) -> dict:
         """What-if analysis (§1): the class-level impact of a hypothetical
@@ -499,15 +536,21 @@ class QCWarehouse:
         for record in wal.records():
             if record.lsn <= tree_lsn:
                 continue  # already folded into the snapshot
+            if record.op == "maintain":
+                # Mixed batch: rows tagged "-" (delete) / "+" (insert).
+                inserts = [r[1:] for r in record.records if r[:1] == ("+",)]
+                deletes = [r[1:] for r in record.records if r[:1] == ("-",)]
+            elif record.op == "insert":
+                inserts, deletes = record.records, ()
+            else:
+                inserts, deletes = (), record.records
             try:
-                if record.op == "insert":
-                    wh.table = apply_insertions(
-                        wh.tree, wh.table, record.records
-                    )
-                else:
-                    wh.table = apply_deletions(
-                        wh.tree, wh.table, record.records
-                    )
+                # Replay runs the same batched engine as the live path,
+                # so the recovered tree is node-for-node the live one.
+                result = maintain_batch(
+                    wh.tree, wh.table, inserts=inserts, deletes=deletes
+                )
+                wh.table = result.table
                 replayed += 1
             except MaintenanceError as exc:
                 skipped.append((record.lsn, str(exc)))
@@ -582,11 +625,15 @@ class QCWarehouse:
             degraded=self._degraded,
             serving="frozen" if frozen else "dict",
             serving_stamp={"lsn": lsn, "epoch": epoch, "frozen": frozen},
+            maintain_batched=self._maintain_batched,
+            maintain_sequential=self._maintain_sequential,
         )
         if self._cache is not None:
             tree_stats["query_cache"] = self._cache.stats()
         if self.last_refreeze is not None:
             tree_stats["refreeze"] = dict(self.last_refreeze)
+        if self.last_maintenance is not None:
+            tree_stats["maintenance"] = dict(self.last_maintenance)
         return tree_stats
 
     def __repr__(self):

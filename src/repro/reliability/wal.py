@@ -14,8 +14,15 @@ File format (text, UTF-8)::
     QCWAL/1 base=0
     <crc32 hex> {"lsn": 1, "op": "insert", "records": [...]}
     <crc32 hex> {"lsn": 2, "op": "delete", "records": [...]}
+    <crc32 hex> {"lsn": 3, "op": "maintain", "records": [...]}
 
-One record per line; the CRC32 covers the JSON text.  A *torn tail* — a
+One record per line; the CRC32 covers the JSON text.  ``insert`` and
+``delete`` records carry raw batch records verbatim; a ``maintain``
+record is a *mixed* batch whose rows are tagged with a leading ``"-"``
+(delete) or ``"+"`` (insert) marker — replay strips the tags and hands
+both halves to one :func:`~repro.core.maintenance.maintain_batch` call,
+preserving the batch's single-transaction semantics.  Pure batches keep
+the original op names, so logs written by older builds replay unchanged.  A *torn tail* — a
 final line that is incomplete or fails its checksum — is expected after
 a crash mid-append and is silently dropped: the append never committed,
 and the in-memory mutation it preceded died with the process.  A corrupt
@@ -46,13 +53,14 @@ from repro.errors import RecoveryError
 
 _MAGIC = "QCWAL/1"
 _HEADER = re.compile(r"^QCWAL/1(?: base=(\d+))?$")
-_OPS = ("insert", "delete")
+_OPS = ("insert", "delete", "maintain")
 
 
 @dataclass(frozen=True)
 class WalRecord:
     """One committed maintenance batch: a sequence number, an operation
-    (``"insert"`` or ``"delete"``), and the raw records of the batch."""
+    (``"insert"``, ``"delete"``, or ``"maintain"`` for tagged mixed
+    batches), and the raw records of the batch."""
 
     lsn: int
     op: str

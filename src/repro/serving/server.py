@@ -21,8 +21,9 @@ exactly one shared mutable reference:
   After the swap the writer *warms* the query cache by replaying the
   hottest keys against the new snapshot, so readers do not all pay the
   post-publication cold-miss storm.  Write latency is reported per
-  phase (``maintain`` / ``refreeze`` / ``publish`` / ``warm``) in
-  :meth:`QCServer.stats`.
+  phase (``maintain`` — with ``maintain_partition`` /
+  ``maintain_merge`` sub-phases from the batched engine — then
+  ``refreeze`` / ``publish`` / ``warm``) in :meth:`QCServer.stats`.
 
 Admission control (bounded queue, load shedding, per-request
 deadlines) lives in :mod:`~repro.serving.admission`; request metrics in
@@ -319,21 +320,39 @@ class QCServer:
         """Delete a batch; same publication discipline as :meth:`insert`."""
         self._mutate("delete", lambda: self.warehouse.delete(records))
 
+    def write(self, inserts=(), deletes=()) -> None:
+        """Apply one mixed maintenance batch (deletes before inserts).
+
+        The general batched write entry point: the whole batch runs as
+        one :meth:`QCWarehouse.maintain
+        <repro.core.warehouse.QCWarehouse.maintain>` transaction — one
+        WAL record, one merged delta, one refreeze patch — and a
+        *single* snapshot publication.
+        """
+        self._mutate(
+            "write",
+            lambda: self.warehouse.maintain(inserts=inserts, deletes=deletes),
+        )
+
     def modify(self, old_records, new_records) -> None:
         """Replace records (§3.3's delete-then-insert) as one serialized
-        server operation with a *single* snapshot publication, so
-        readers never observe the deleted-but-not-reinserted middle."""
-        def apply():
-            self.warehouse.delete(old_records)
-            self.warehouse.insert(new_records)
-
-        self._mutate("modify", apply)
+        server operation — one mixed maintenance batch with a *single*
+        snapshot publication, so readers never observe the
+        deleted-but-not-reinserted middle."""
+        self._mutate(
+            "modify",
+            lambda: self.warehouse.maintain(
+                inserts=new_records, deletes=old_records
+            ),
+        )
 
     def _mutate(self, op: str, apply) -> None:
         if self._closed:
             raise ServerClosedError("server is closed")
         metrics = self._metrics
+        warehouse = self.warehouse
         with self._write_lock:
+            warehouse.last_maintenance = None
             t0 = time.monotonic()
             apply()
             t1 = time.monotonic()
@@ -341,19 +360,29 @@ class QCServer:
             # snapshot, so the refreeze (incremental patch or full
             # recompile) is measured as its own phase and the publish
             # phase is just snapshot construction + the reference swap.
-            self.warehouse.serving_tree
+            warehouse.serving_tree
             t2 = time.monotonic()
             self._publish()
             t3 = time.monotonic()
             self._warm_cache()
             t4 = time.monotonic()
-        refreeze = self.warehouse.last_refreeze
+        refreeze = warehouse.last_refreeze
         if refreeze is not None:
             mode = refreeze.get("mode")
             name = "refreeze_patched" if mode == "patched" else "refreeze_full"
             metrics.counter(name).inc()
         metrics.observe(f"write:{op}", t4 - t0)
         metrics.observe("write_phase:maintain", t1 - t0)
+        maintenance = warehouse.last_maintenance
+        if maintenance is not None:
+            # The batched engine's sub-phases: Δ-partition + classification
+            # vs link derivation + structural apply.
+            metrics.observe(
+                "write_phase:maintain_partition", maintenance["partition_s"]
+            )
+            metrics.observe(
+                "write_phase:maintain_merge", maintenance["merge_s"]
+            )
         metrics.observe("write_phase:refreeze", t2 - t1)
         metrics.observe("write_phase:publish", t3 - t2)
         metrics.observe("write_phase:warm", t4 - t3)
@@ -452,6 +481,10 @@ class QCServer:
         )
         refreeze = self.warehouse.last_refreeze
         stats["refreeze"] = dict(refreeze) if refreeze is not None else None
+        maintenance = self.warehouse.last_maintenance
+        stats["maintenance"] = (
+            dict(maintenance) if maintenance is not None else None
+        )
         stats["closed"] = self._closed
         return stats
 

@@ -2,14 +2,25 @@
 
 from __future__ import annotations
 
+import os
 import random
 from itertools import product
 
 import pytest
+from hypothesis import settings
 
 from repro.core.cells import ALL
 from repro.cube.schema import Schema
 from repro.cube.table import BaseTable
+
+# Hypothesis profiles: "ci" is fully seeded (derandomized) so every CI
+# run across every Python version explores the same example corpus —
+# a red oracle on one matrix leg reproduces on all of them and locally
+# via HYPOTHESIS_PROFILE=ci.
+settings.register_profile("ci", derandomize=True, max_examples=60,
+                          deadline=None)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

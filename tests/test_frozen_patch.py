@@ -302,6 +302,146 @@ class TestFallbackFuzz:
         _assert_equivalent(out, tree, table)
 
 
+class TestDeltaUnion:
+    """Satellite: delta-union semantics — associative, id-reuse-safe,
+    and per-tuple unions patching identically to batch recordings."""
+
+    CATEGORIES = ("created", "removed", "restated", "relinked", "reedged")
+
+    def _synthetic(self, tree, **cats):
+        delta = MaintenanceDelta(tree)
+        for cat, ids in cats.items():
+            getattr(delta, cat).update(ids)
+        return delta
+
+    def test_merge_is_associative_and_commutative(self):
+        _, tree = _build(30, n_dims=2, cardinality=2, n_rows=4)
+        a = self._synthetic(tree, created={1, 2}, restated={3})
+        b = self._synthetic(tree, removed={2}, relinked={4})
+        c = self._synthetic(tree, created={5}, reedged={1})
+        left, right = (a | b) | c, a | (b | c)
+        for cat in self.CATEGORIES:
+            assert getattr(left, cat) == getattr(right, cat)
+            assert getattr(a | b, cat) == getattr(b | a, cat)
+
+    def test_union_folds_like_pairwise_merge(self):
+        _, tree = _build(31, n_dims=2, cardinality=2, n_rows=4)
+        deltas = [
+            self._synthetic(tree, created={i}, restated={i + 10})
+            for i in range(4)
+        ]
+        folded = MaintenanceDelta.union(tree, deltas)
+        pairwise = deltas[0]
+        for delta in deltas[1:]:
+            pairwise = pairwise | delta
+        for cat in self.CATEGORIES:
+            assert getattr(folded, cat) == getattr(pairwise, cat)
+
+    def test_update_is_in_place_merge(self):
+        _, tree = _build(32, n_dims=2, cardinality=2, n_rows=4)
+        a = self._synthetic(tree, created={1})
+        b = self._synthetic(tree, removed={2}, restated={1})
+        a.update(b)
+        assert a.created == {1} and a.removed == {2} and a.restated == {1}
+
+    def test_union_rejects_foreign_tree(self):
+        _, tree_a = _build(33, n_dims=2, cardinality=2, n_rows=4)
+        _, tree_b = _build(34, n_dims=2, cardinality=2, n_rows=4)
+        with pytest.raises(ValueError):
+            MaintenanceDelta.union(
+                tree_a, [MaintenanceDelta(tree_b)]
+            )
+
+    def test_empty_union_patches_as_noop(self):
+        _, tree = _build(35, n_dims=3, cardinality=3, n_rows=8)
+        frozen = tree.freeze()
+        empty = MaintenanceDelta.union(tree, [])
+        assert len(empty) == 0
+        assert frozen.patch(empty) is frozen
+
+    def _run_stream(self, tree, table, seed, per_tuple):
+        """A deterministic mutation stream; returns the final table and
+        either per-mutation deltas folded via union, or one delta
+        recorded across the whole stream."""
+        rng = random.Random(seed)
+        deltas = []
+        whole = None if per_tuple else tree.begin_delta()
+        for step in range(8):
+            op = ("insert_new", "delete", "insert")[step % 3]
+            if per_tuple:
+                tree.begin_delta()
+            try:
+                if op == "delete" and table.rows:
+                    i = rng.randrange(len(table.rows))
+                    rec = table.decode_cell(table.rows[i]) \
+                        + tuple(table.measures[i])
+                    table = apply_deletions(tree, table, [rec])
+                else:
+                    rec = _random_record(
+                        table, rng, fresh_labels=op == "insert_new"
+                    )
+                    table = apply_insertions(tree, table, [rec])
+            finally:
+                if per_tuple:
+                    deltas.append(tree.end_delta())
+        if not per_tuple:
+            whole = tree.end_delta()
+        return table, (
+            MaintenanceDelta.union(tree, deltas) if per_tuple else whole
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_per_tuple_union_equals_stream_recording(self, seed):
+        """Union of per-tuple deltas vs one whole-stream recording of the
+        identical mutation stream: same dirty set, and both patch a
+        stale frozen view to the same final tree.  ``removed`` may keep
+        ids the stream recorder dropped (pruned-then-reallocated), but
+        those ids are then in ``created`` too — dirty either way."""
+        table, tree = _build(seed, n_dims=3, cardinality=3, n_rows=10)
+        clone = tree.copy()
+        frozen_a, frozen_b = tree.freeze(), clone.freeze()
+        _, union = self._run_stream(tree, table, seed, per_tuple=True)
+        _, whole = self._run_stream(clone, table, seed, per_tuple=False)
+        assert union.dirty == whole.dirty
+        assert union.created == whole.created
+        assert union.restated == whole.restated
+        assert union.relinked == whole.relinked
+        assert union.reedged == whole.reedged
+        assert whole.removed <= union.removed
+        assert union.removed - whole.removed <= union.created
+        patched_a = frozen_a.patch(union, full_refreeze_ratio=1.0)
+        patched_b = frozen_b.patch(whole, full_refreeze_ratio=1.0)
+        assert patched_a.signature() == tree.freeze().signature()
+        assert patched_b.signature() == clone.freeze().signature()
+        assert patched_a.signature() == patched_b.signature()
+
+    def test_id_reuse_between_merged_batches_is_safe(self):
+        """A node pruned by one batch whose id is reused by a later batch
+        must patch correctly from the merged delta (the id is read back
+        from the post-mutation tree, not replayed as an event)."""
+        table, tree = _build(36, n_dims=3, cardinality=3, n_rows=8)
+        frozen = tree.freeze()
+        fresh = ("7", "7", "7", 3.0)
+        deltas = []
+        tables = [table]
+        for op, rec in (("ins", fresh), ("del", fresh), ("ins", ("8", "8", "8", 4.0))):
+            tree.begin_delta()
+            try:
+                if op == "ins":
+                    tables.append(apply_insertions(tree, tables[-1], [rec]))
+                else:
+                    tables.append(apply_deletions(tree, tables[-1], [rec]))
+            finally:
+                deltas.append(tree.end_delta())
+        # The prune + re-create across batches shares ids: the union
+        # holds them in removed AND created simultaneously.
+        merged = MaintenanceDelta.union(tree, deltas)
+        reused = merged.removed & merged.created
+        assert reused, "expected pruned ids to be reallocated"
+        patched = frozen.patch(merged, full_refreeze_ratio=1.0)
+        _assert_equivalent(patched, tree, tables[-1])
+
+
 class TestWarehouseIntegration:
     def test_small_write_patches_large_tree(self):
         table = make_random_table(20, n_dims=4, cardinality=5, n_rows=120)
