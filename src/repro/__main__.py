@@ -28,10 +28,18 @@ concurrent warehouse::
     rollup S2,P1,f
     insert S3,P1,s,5.0
     stats
+    health
     quit
+
+``health`` prints the JSON health/readiness report (liveness, snapshot
+staleness, queue depth, worker liveness, degraded state, breaker state)
+— the line a probe or load balancer should poll.
 
 ``bench-serve`` drives a closed-loop (or, with ``--rate``, open-loop)
 point-query workload through the server and prints a JSON report.
+``--chaos`` runs the same mixed read/write workload under seeded fault
+injection (worker kills, write-pipeline crashes, op errors/stalls) with
+retrying clients, and reports what the fault-tolerance machinery did.
 
 Exit status: 0 on success, 1 on any error (bad input, missing or
 corrupt files), 2 when ``fsck`` finds corruption.
@@ -178,6 +186,12 @@ def _serve_dispatch(server, warehouse, line, out) -> bool:
     if command == "stats":
         print(json.dumps(server.stats(), sort_keys=True), file=out, flush=True)
         return True
+    if command == "health":
+        # Served through the worker pool: a reply proves a live worker,
+        # not just a live control thread.
+        print(json.dumps(server.query("health"), sort_keys=True),
+              file=out, flush=True)
+        return True
     if command in ("insert", "delete"):
         record = _coerce_record(warehouse, parse_cell(rest))
         getattr(server, command)([record])
@@ -266,6 +280,8 @@ def cmd_serve(args) -> int:
 def cmd_bench_serve(args) -> int:
     import json
 
+    from repro.reliability.faults import ChaosMonkey, ServingFaults
+    from repro.serving.retry import RetryPolicy
     from repro.serving.server import QCServer
     from repro.serving.workload import (
         point_requests,
@@ -277,14 +293,37 @@ def cmd_bench_serve(args) -> int:
 
     warehouse = _load_warehouse(args)
     requests = point_requests(warehouse.table, args.requests, seed=7)
+    faults = ServingFaults() if args.chaos else None
     with QCServer(warehouse, workers=args.workers,
                   queue_size=args.queue_size,
                   default_timeout=args.timeout,
-                  warm_keys=args.warm_keys) as server:
+                  warm_keys=args.warm_keys, faults=faults) as server:
+        if args.chaos and not args.stall_us:
+            # Stretch the run so the injection stream actually lands;
+            # an unstalled in-memory workload outruns the monkey.
+            args.stall_us = 500.0
         if args.stall_us:
             op = register_stalled_point(server, args.stall_us / 1e6)
             requests = [(op, a) for _, a in requests]
-        if args.rate:
+        if args.chaos:
+            # Mixed read/write workload under seeded fault injection:
+            # retrying clients against killed workers, crashed write
+            # phases, and injected op errors/stalls.
+            record = next(warehouse.table.iter_records())
+            batches = [("insert", [record]), ("delete", [record])]
+            retry = RetryPolicy()
+            ops = ("point_stall",) if args.stall_us else ("point",)
+            with ChaosMonkey(faults, seed=args.chaos_seed,
+                             interval_s=0.005, ops=ops) as monkey:
+                result = run_mixed(
+                    server, requests, clients=args.clients,
+                    write_batches=batches * max(args.writes, 4),
+                    timeout=args.timeout, retry=retry,
+                    tolerate_write_errors=True,
+                )
+            server.recover()  # clear any degraded state the monkey left
+            result["chaos"] = monkey.summary()
+        elif args.rate:
             result = run_open_loop(server, requests, args.rate,
                                    timeout=args.timeout)
         elif args.writes:
@@ -298,8 +337,14 @@ def cmd_bench_serve(args) -> int:
                                      clients=args.clients,
                                      timeout=args.timeout)
         result["server"] = server.stats()
+        counters = result["server"]["counters"]
+        result["ledger_ok"] = (
+            counters["submitted"] == counters["completed"]
+            + counters["timeouts"] + counters["errors"]
+            + counters["cancelled"]
+        )
     print(json.dumps(result, indent=2, sort_keys=True))
-    return 0
+    return 0 if result["ledger_ok"] else 1
 
 
 def cmd_fsck(args) -> int:
@@ -414,6 +459,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--writes", type=int, default=0,
                          help="concurrent insert+delete write pairs to "
                               "apply during the run (default 0)")
+    p_bench.add_argument("--chaos", action="store_true",
+                         help="run the mixed workload under seeded fault "
+                              "injection (worker kills, write-pipeline "
+                              "crashes, op faults) with retrying clients")
+    p_bench.add_argument("--chaos-seed", type=int, default=0,
+                         help="chaos injection seed (default 0)")
     p_bench.set_defaults(func=cmd_bench_serve)
 
     p_fsck = sub.add_parser(

@@ -205,6 +205,20 @@ class QCWarehouse:
         self._view = None
         self._epoch += 1
 
+    def invalidate_serving_view(self) -> None:
+        """Drop every derived serving structure and start clean.
+
+        The next :attr:`serving_tree` access recompiles the frozen view
+        from the dict tree instead of patching; the next :attr:`view`
+        access rebuilds the snapshot; the epoch bump invalidates every
+        cached answer.  This is the serving layer's recovery fallback:
+        when an incremental refreeze or a snapshot publication fails
+        partway, the accumulated patch state is suspect — discarding it
+        and recompiling from the (transactionally maintained) dict tree
+        is always safe.
+        """
+        self._mutated()
+
     def _cached(self, key, compute, copy=None):
         """Serve ``compute()`` through the stamped query cache.
 

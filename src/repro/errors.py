@@ -54,6 +54,46 @@ class ServerClosedError(ServingError):
     that has shut down."""
 
 
+class CircuitOpenError(ServerOverloadedError):
+    """Raised when the server's circuit breaker is shedding load.
+
+    Subclasses :class:`ServerOverloadedError` because the caller-visible
+    contract is the same — back off and retry later — but the cause is a
+    recent error burst rather than a full admission queue.
+    """
+
+
+class WorkerCrashedError(ServingError):
+    """Raised to a caller whose request was claimed by a worker thread
+    that died before producing an answer.
+
+    The read was idempotent and never ran to completion, so it is safe
+    to retry (the supervisor respawns the worker in the background).
+    """
+
+
+class ServerDegradedError(ServingError):
+    """Raised for writes while the server is in degraded read-only mode.
+
+    The server enters this mode when the write pipeline cannot publish a
+    fresh snapshot even through its recovery fallbacks; reads keep being
+    served from the last-good published snapshot.  Every subsequent
+    write attempt (and :meth:`QCServer.recover
+    <repro.serving.server.QCServer.recover>`) first probes whether the
+    fault has cleared and exits degraded mode on success.
+    """
+
+
+class WriteQuarantinedError(ServingError):
+    """Raised when a write batch is rejected because identical batches
+    repeatedly crashed the writer.
+
+    Quarantine keeps one poisonous batch from wedging the single-writer
+    path: the batch is refused up front instead of being retried into
+    the same crash.  Other batches continue to be accepted.
+    """
+
+
 class RecoveryError(ReproError):
     """Raised when crash recovery cannot proceed.
 

@@ -13,10 +13,19 @@ load shedding and per-request deadlines
 (:mod:`~repro.serving.metrics`), and closed-/open-loop workload drivers
 (:mod:`~repro.serving.workload`) used by ``python -m repro bench-serve``
 and the concurrent-serving benchmark.
+
+The fault-tolerance layer rides on top: a worker supervisor and
+recoverable write pipeline inside the server, health/readiness probes
+and the admission :class:`~repro.serving.health.CircuitBreaker`
+(:mod:`~repro.serving.health`), client-side retry for idempotent reads
+(:mod:`~repro.serving.retry`), and deterministic serving-layer fault
+injection in :class:`~repro.reliability.faults.ServingFaults`.
 """
 
-from repro.serving.admission import AdmissionQueue, Request
+from repro.serving.admission import TIMEOUT, AdmissionQueue, Request
+from repro.serving.health import CircuitBreaker, health_report
 from repro.serving.metrics import LatencyHistogram, ServerMetrics
+from repro.serving.retry import RETRYABLE, RetryPolicy
 from repro.serving.server import QCServer
 from repro.serving.snapshot import ServingSnapshot
 from repro.serving.workload import (
@@ -28,11 +37,16 @@ from repro.serving.workload import (
 
 __all__ = [
     "AdmissionQueue",
+    "CircuitBreaker",
     "LatencyHistogram",
     "QCServer",
+    "RETRYABLE",
     "Request",
+    "RetryPolicy",
     "ServerMetrics",
     "ServingSnapshot",
+    "TIMEOUT",
+    "health_report",
     "register_stalled_point",
     "run_closed_loop",
     "run_mixed",

@@ -28,6 +28,24 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 
+class _TimeoutSentinel:
+    """Singleton returned by :meth:`AdmissionQueue.take` when its wait
+    timed out while the queue is still open.
+
+    Distinct from ``None`` (closed and drained) so a supervised worker
+    doing timed takes — it wakes periodically to heartbeat — can retry
+    instead of mistaking an idle queue for shutdown and exiting.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "TIMEOUT"
+
+
+TIMEOUT = _TimeoutSentinel()
+
+
 @dataclass
 class Request:
     """One admitted unit of work: an operation plus its bookkeeping.
@@ -85,15 +103,22 @@ class AdmissionQueue:
             self._cond.notify()
             return True
 
-    def take(self, timeout: Optional[float] = None) -> Optional[Request]:
-        """Block for the next request; None means closed-and-drained
-        (or ``timeout`` elapsed), telling a worker to exit/retry."""
+    def take(self, timeout: Optional[float] = None):
+        """Block for the next request.
+
+        Returns the request, or ``None`` when the queue is closed and
+        drained (the worker should exit), or the :data:`TIMEOUT`
+        sentinel when ``timeout`` elapsed with the queue still open (the
+        worker should heartbeat and retry).  The two idle outcomes are
+        deliberately distinct: conflating them made any timed take look
+        like shutdown and silently killed the worker.
+        """
         with self._cond:
             while not self._items:
                 if self._closed:
                     return None
                 if not self._cond.wait(timeout=timeout):
-                    return None
+                    return None if self._closed else TIMEOUT
             return self._items.popleft()
 
     def close(self) -> list:

@@ -131,10 +131,40 @@ class ServerMetrics:
     ``timeouts``
         requests whose deadline passed before a worker picked them up;
     ``errors``
-        requests that raised while executing (or were stranded by
-        shutdown);
+        requests that raised while executing, were failed by a worker
+        crash, or were stranded by shutdown;
+    ``cancelled``
+        requests whose future was cancelled before a worker claimed it
+        (including cancelled futures stranded at close);
+    ``stranded``
+        requests still queued at :meth:`QCServer.close
+        <repro.serving.server.QCServer.close>` (each is *also* counted
+        under ``errors`` or ``cancelled``, so the admission ledger
+        ``submitted == completed + timeouts + errors + cancelled``
+        stays balanced);
+    ``breaker_rejected``
+        requests shed at admission by an open circuit breaker (not
+        ``submitted``, so outside the ledger like ``shed``);
+    ``worker_crashes`` / ``worker_restarts``
+        worker threads that died with an escaped exception, and worker
+        threads respawned by the supervisor;
     ``snapshot_swaps``
         snapshot publications by the writer path;
+    ``writes_failed``
+        write batches whose maintenance phase raised (the transactional
+        rollback left the tree unchanged);
+    ``writes_quarantined``
+        write batches refused up front because identical batches
+        repeatedly crashed the writer;
+    ``refreeze_fallbacks`` / ``publish_retries``
+        write-pipeline recoveries: a failed incremental refreeze retried
+        as a full recompile, and a failed publication retried from a
+        fresh snapshot;
+    ``warm_failures``
+        post-swap cache warmings that raised (never fatal — the write
+        already published);
+    ``degraded_entered`` / ``degraded_exited``
+        transitions in and out of degraded read-only mode;
     ``refreeze_patched`` / ``refreeze_full``
         how each write's refreeze was served — an incremental patch of
         the frozen view versus a full recompile (fresh or compacted);
@@ -151,7 +181,12 @@ class ServerMetrics:
 
     COUNTERS = (
         "submitted", "completed", "shed", "timeouts", "errors",
-        "snapshot_swaps", "refreeze_patched", "refreeze_full",
+        "cancelled", "stranded", "breaker_rejected",
+        "worker_crashes", "worker_restarts",
+        "snapshot_swaps", "writes_failed", "writes_quarantined",
+        "refreeze_fallbacks", "publish_retries", "warm_failures",
+        "degraded_entered", "degraded_exited",
+        "refreeze_patched", "refreeze_full",
         "cache_warmed",
     )
 

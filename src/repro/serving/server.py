@@ -1,4 +1,5 @@
-"""``QCServer`` — a concurrent query server over a QC-tree warehouse.
+"""``QCServer`` — a concurrent, fault-tolerant query server over a
+QC-tree warehouse.
 
 The paper positions the QC-tree as a summary structure for *online*
 semantic OLAP; this module supplies the online part.  The design has
@@ -25,6 +26,39 @@ exactly one shared mutable reference:
   ``maintain_merge`` sub-phases from the batched engine — then
   ``refreeze`` / ``publish`` / ``warm``) in :meth:`QCServer.stats`.
 
+**Fault tolerance** treats node-level failure as routine, the way
+realtime OLAP serving stacks do:
+
+* A **supervisor** thread heartbeats the worker pool: a worker that
+  dies with an escaped exception is counted (``worker_crashes``), its
+  claimed request is failed with
+  :class:`~repro.errors.WorkerCrashedError` instead of hanging the
+  caller, and the worker is respawned at a bounded rate
+  (``worker_restarts``); a worker with a stale heartbeat while work is
+  queued is reported as wedged.
+* The **write pipeline is recoverable end to end**: a maintenance
+  failure surfaces the transactional rollback (tree unchanged, error
+  re-raised); a failed incremental refreeze falls back to a full
+  recompile from the dict tree; a failed publication retries from a
+  fresh snapshot; a failed warm is absorbed (the write already
+  published).  When even the fallbacks fail, the server flips to
+  **degraded read-only mode** — readers keep the last-good snapshot,
+  writes raise :class:`~repro.errors.ServerDegradedError` — and every
+  subsequent write (or :meth:`recover`) probes whether the fault has
+  cleared.  A batch that repeatedly crashes the maintenance phase is
+  **quarantined** (:class:`~repro.errors.WriteQuarantinedError`) so one
+  poisonous batch cannot wedge the single-writer path.
+* A **health/readiness subsystem** (:mod:`~repro.serving.health`)
+  serves a ``health`` op reporting liveness, snapshot staleness,
+  queue depth, worker liveness, and degraded state, and an optional
+  :class:`~repro.serving.health.CircuitBreaker` sheds load at admission
+  (:class:`~repro.errors.CircuitOpenError`) when the recent error rate
+  crosses a threshold, half-opening to probe recovery.
+* Every failure mode above is drivable deterministically through
+  :class:`~repro.reliability.faults.ServingFaults` (the ``faults``
+  constructor hook), which the chaos test suite and
+  ``bench-serve --chaos`` build on.
+
 Admission control (bounded queue, load shedding, per-request
 deadlines) lives in :mod:`~repro.serving.admission`; request metrics in
 :mod:`~repro.serving.metrics`.  Cacheable answers (point / range /
@@ -41,6 +75,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
 from typing import Optional
 
@@ -53,13 +88,18 @@ from repro.core.query_cache import (
     range_cache_key,
 )
 from repro.errors import (
+    CircuitOpenError,
     DeadlineExceededError,
     QueryError,
     ServerClosedError,
+    ServerDegradedError,
     ServerOverloadedError,
     ServingError,
+    WorkerCrashedError,
+    WriteQuarantinedError,
 )
-from repro.serving.admission import AdmissionQueue, Request
+from repro.serving.admission import TIMEOUT, AdmissionQueue, Request
+from repro.serving.health import CircuitBreaker, health_report
 from repro.serving.metrics import ServerMetrics
 
 #: Snapshot methods exposed as server operations out of the box.
@@ -89,6 +129,8 @@ class QCServer:
     >>> server.submit("point", ("S2", "*", "f")).result()
     9.0
     >>> server.insert([("S3", "P1", "s", 5.0)])   # snapshot-swap write
+    >>> server.query("health")["status"]
+    'ok'
     >>> server.close()
 
     Parameters
@@ -113,18 +155,47 @@ class QCServer:
         After each snapshot swap, replay up to this many of the
         hottest cached keys against the new snapshot on the writer
         thread (0 disables warming).
+    supervised:
+        Run the worker supervisor (heartbeats + bounded-rate respawn of
+        dead workers).  On by default; ``supervise_interval`` sets its
+        scan period in seconds.
+    quarantine_after:
+        Consecutive maintenance-phase crashes of the *same* batch after
+        which that batch is quarantined (rejected with
+        :class:`~repro.errors.WriteQuarantinedError`).
+    breaker:
+        A :class:`~repro.serving.health.CircuitBreaker` to shed load at
+        admission when the recent error rate spikes; ``None`` installs
+        one with default thresholds, ``False`` disables the breaker.
+    faults:
+        A :class:`~repro.reliability.faults.ServingFaults` plan; the
+        server fires its named sites (``worker``, ``op:<name>``,
+        ``write:<phase>``) on the hot paths so tests and chaos runs can
+        inject failures deterministically.  ``None`` (the default) adds
+        no overhead beyond an attribute check.
     """
+
+    #: Seconds a worker waits per timed queue take before heartbeating.
+    WORKER_POLL_S = 0.1
+    #: Heartbeat age (seconds) past which a busy worker counts as wedged.
+    WEDGE_TIMEOUT_S = 5.0
+    #: Bounded-rate respawn: at most this many restarts per window.
+    MAX_RESTARTS_PER_WINDOW = 32
+    RESTART_WINDOW_S = 1.0
 
     def __init__(self, warehouse, workers: int = 4, queue_size: int = 128,
                  default_timeout: Optional[float] = None,
                  cache_size: int = 4096, warm_keys: int = 32,
-                 name: str = "qcserver"):
+                 name: str = "qcserver", supervised: bool = True,
+                 supervise_interval: float = 0.05,
+                 quarantine_after: int = 3, breaker=None, faults=None):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         self.warehouse = warehouse
         self.default_timeout = default_timeout
         self.name = name
         self._ops = {op: _snapshot_op(op) for op in SNAPSHOT_OPS}
+        self._ops["health"] = lambda snapshot: self.health()
         self._metrics = ServerMetrics()
         self._queue = AdmissionQueue(queue_size)
         self._write_lock = threading.Lock()
@@ -133,17 +204,38 @@ class QCServer:
         self._cache = LsnQueryCache(cache_size) if cache_size else None
         self._cache_lock = threading.Lock()
         self._warm_keys = warm_keys
+        self._faults = faults
+        if breaker is None:
+            breaker = CircuitBreaker()
+        self._breaker = breaker or None  # breaker=False disables it
+        # Write-pipeline fault state (all guarded by the write lock).
+        self._quarantine_after = quarantine_after
+        self._write_failures: dict = {}
+        self._quarantined: set = set()
+        self._write_degraded = False
+        self._degraded_reason: Optional[dict] = None
+        self.last_write_error: Optional[dict] = None
         self._snapshot = self._build_snapshot()
+        # Worker pool + supervisor.  The worker list is mutated by the
+        # supervisor on respawn, so every access is under the lock.
+        self._worker_lock = threading.Lock()
+        self._heartbeats = [time.monotonic()] * workers
+        self._restart_times: deque = deque()
         self._workers = [
-            threading.Thread(
-                target=self._worker_loop,
-                name=f"{name}-worker-{i}",
-                daemon=False,
-            )
-            for i in range(workers)
+            self._spawn_worker(slot) for slot in range(workers)
         ]
         for thread in self._workers:
             thread.start()
+        self._stop_supervisor = threading.Event()
+        self._supervise_interval = supervise_interval
+        self._supervisor = None
+        if supervised:
+            self._supervisor = threading.Thread(
+                target=self._supervise_loop,
+                name=f"{name}-supervisor",
+                daemon=False,
+            )
+            self._supervisor.start()
 
     # -- snapshot lifecycle --------------------------------------------------
 
@@ -168,10 +260,19 @@ class QCServer:
     def _publish(self) -> None:
         """Compile and atomically swap in a snapshot of the current
         warehouse state.  Runs on the writer path only; readers keep
-        serving the previous snapshot throughout."""
+        serving the previous snapshot throughout.  The swap is the last
+        statement: a failure anywhere earlier leaves the previous
+        snapshot published, never a torn one."""
         snapshot = self._build_snapshot()
         self._snapshot = snapshot  # atomic reference swap
         self._metrics.counter("snapshot_swaps").inc()
+
+    # -- fault injection -----------------------------------------------------
+
+    def _fire(self, site: str) -> None:
+        faults = self._faults
+        if faults is not None:
+            faults.fire(site)
 
     # -- read path -----------------------------------------------------------
 
@@ -190,7 +291,9 @@ class QCServer:
         Future` resolving to the answer.
 
         Raises :class:`~repro.errors.ServerOverloadedError` immediately
-        when the admission queue is full (load shedding) and
+        when the admission queue is full (load shedding), its subclass
+        :class:`~repro.errors.CircuitOpenError` while the circuit
+        breaker is shedding, and
         :class:`~repro.errors.ServerClosedError` after :meth:`close`.
         ``timeout`` (seconds, default ``default_timeout``) sets the
         request's deadline; a request still queued when it expires is
@@ -200,6 +303,13 @@ class QCServer:
             raise QueryError(
                 f"unknown server op {op!r}; known: {sorted(self._ops)}"
             )
+        breaker = self._breaker
+        if breaker is not None and not breaker.allow():
+            self._metrics.counter("breaker_rejected").inc()
+            raise CircuitOpenError(
+                "circuit breaker open after an error burst; "
+                "back off and retry"
+            )
         limit = self.default_timeout if timeout is None else timeout
         deadline = None if limit is None else time.monotonic() + limit
         request = Request(op=op, args=args, kwargs=kwargs, future=Future(),
@@ -207,8 +317,12 @@ class QCServer:
         try:
             admitted = self._queue.offer(request)
         except RuntimeError:
+            if breaker is not None:
+                breaker.on_discard()
             raise ServerClosedError("server is closed") from None
         if not admitted:
+            if breaker is not None:
+                breaker.on_discard()
             self._metrics.counter("shed").inc()
             raise ServerOverloadedError(
                 f"admission queue full ({self._queue.maxsize} waiting); "
@@ -237,18 +351,63 @@ class QCServer:
 
     # -- worker pool ---------------------------------------------------------
 
-    def _worker_loop(self) -> None:
+    def _spawn_worker(self, slot: int) -> threading.Thread:
+        return threading.Thread(
+            target=self._worker_loop,
+            args=(slot,),
+            name=f"{self.name}-worker-{slot}",
+            daemon=False,
+        )
+
+    def _worker_loop(self, slot: int) -> None:
         queue = self._queue
         while True:
-            request = queue.take()
+            self._heartbeats[slot] = time.monotonic()
+            request = queue.take(timeout=self.WORKER_POLL_S)
+            if request is TIMEOUT:
+                continue  # idle wakeup: heartbeat and keep waiting
             if request is None:
+                return  # closed and drained: clean exit
+            try:
+                self._serve(request)
+            except BaseException:
+                # The worker is about to die.  Count the crash, make
+                # sure the claimed request's caller is not left hanging,
+                # and exit the thread; the supervisor respawns the slot.
+                self._metrics.counter("worker_crashes").inc()
+                self._fail_crashed_request(request)
                 return
-            self._serve(request)
+
+    def _fail_crashed_request(self, request: Request) -> None:
+        """Fail the future of a request whose worker died pre-answer, so
+        the caller gets a retryable error instead of hanging forever."""
+        future = request.future
+        if future is None or future.done():
+            return
+        try:
+            if future.set_running_or_notify_cancel():
+                self._metrics.counter("errors").inc()
+                if self._breaker is not None:
+                    self._breaker.on_failure()
+                future.set_exception(WorkerCrashedError(
+                    f"worker died before answering {request.op!r}; "
+                    "the read never ran and is safe to retry"
+                ))
+            else:
+                self._metrics.counter("cancelled").inc()
+                if self._breaker is not None:
+                    self._breaker.on_discard()
+        except Exception:
+            pass  # racing future state: the caller already has an outcome
 
     def _serve(self, request: Request) -> None:
+        self._fire("worker")  # simulated pre-claim worker death
         future = request.future
+        breaker = self._breaker
         if request.expired():
             self._metrics.counter("timeouts").inc()
+            if breaker is not None:
+                breaker.on_failure()
             future.set_exception(DeadlineExceededError(
                 f"request {request.op!r} spent "
                 f"{time.monotonic() - request.enqueued_at:.3f}s queued, "
@@ -257,6 +416,8 @@ class QCServer:
             return
         if not future.set_running_or_notify_cancel():
             self._metrics.counter("cancelled").inc()
+            if breaker is not None:
+                breaker.on_discard()
             return
         snapshot = self._snapshot  # pin one immutable version
         start = time.monotonic()
@@ -265,10 +426,14 @@ class QCServer:
         except BaseException as exc:
             self._metrics.observe(request.op, time.monotonic() - start)
             self._metrics.counter("errors").inc()
+            if breaker is not None:
+                breaker.on_failure()
             future.set_exception(exc)
             return
         self._metrics.observe(request.op, time.monotonic() - start)
         self._metrics.counter("completed").inc()
+        if breaker is not None:
+            breaker.on_success()
         future.set_result(value)
 
     def _cache_key(self, op: str, args: tuple, kwargs: dict):
@@ -291,6 +456,7 @@ class QCServer:
         """Execute one read against its pinned snapshot, through the
         stamped cache when the op is cacheable."""
         op, args, kwargs = request.op, request.args, request.kwargs
+        self._fire(f"op:{op}")  # injected op errors / slow ops
         cache = self._cache
         key = None if cache is None else self._cache_key(op, args, kwargs)
         if key is None:
@@ -309,16 +475,101 @@ class QCServer:
         copy = _CACHE_COPY.get(op)
         return value if copy is None else copy(value)
 
+    # -- supervisor ----------------------------------------------------------
+
+    def _supervise_loop(self) -> None:
+        while not self._stop_supervisor.wait(self._supervise_interval):
+            self._respawn_dead_workers()
+
+    def _respawn_dead_workers(self) -> None:
+        """Replace dead worker threads, at a bounded rate.
+
+        The rate bound (``MAX_RESTARTS_PER_WINDOW`` per
+        ``RESTART_WINDOW_S``) keeps a crash loop from burning CPU on
+        thread churn; slots over budget stay dead until the window
+        slides and are retried on the next scan.
+        """
+        now = time.monotonic()
+        with self._worker_lock:
+            if self._closed:
+                return
+            window = self._restart_times
+            while window and now - window[0] > self.RESTART_WINDOW_S:
+                window.popleft()
+            for slot, thread in enumerate(self._workers):
+                if thread.is_alive():
+                    continue
+                if len(window) >= self.MAX_RESTARTS_PER_WINDOW:
+                    return  # budget exhausted; retry next scan
+                replacement = self._spawn_worker(slot)
+                self._workers[slot] = replacement
+                self._heartbeats[slot] = now
+                window.append(now)
+                self._metrics.counter("worker_restarts").inc()
+                replacement.start()
+
+    def worker_health(self) -> dict:
+        """Worker-pool liveness: alive/configured counts, supervisor
+        restart/crash totals, heartbeat age, and wedged workers (alive
+        but heartbeat-stale while requests are queued)."""
+        with self._worker_lock:
+            threads = list(self._workers)
+            beats = list(self._heartbeats)
+        now = time.monotonic()
+        ages = [now - beat for beat in beats]
+        backlog = self._queue.depth() > 0
+        wedged = sum(
+            1 for thread, age in zip(threads, ages)
+            if thread.is_alive() and backlog and age > self.WEDGE_TIMEOUT_S
+        )
+        counters = self._metrics
+        return {
+            "configured": len(threads),
+            "alive": sum(1 for t in threads if t.is_alive()),
+            "restarts": counters.counter("worker_restarts").value,
+            "crashes": counters.counter("worker_crashes").value,
+            "supervised": self._supervisor is not None,
+            "stalest_heartbeat_s": round(max(ages), 3) if ages else 0.0,
+            "wedged": wedged,
+        }
+
+    # -- health --------------------------------------------------------------
+
+    @property
+    def breaker(self):
+        """The admission circuit breaker (None when disabled)."""
+        return self._breaker
+
+    @property
+    def write_degraded(self) -> bool:
+        """True while the write pipeline is in degraded read-only mode."""
+        return self._write_degraded
+
+    @property
+    def degraded_reason(self) -> Optional[dict]:
+        """Why the server degraded (phase + error), or None."""
+        return self._degraded_reason
+
+    def health(self) -> dict:
+        """The health/readiness report (also served as the ``health``
+        op, where answering at all additionally proves a live worker).
+        See :func:`~repro.serving.health.health_report`."""
+        return health_report(self)
+
     # -- write path (single writer, snapshot swap) ---------------------------
 
     def insert(self, records) -> None:
         """Insert a batch; serialized with other writers, invisible to
         readers until the post-refreeze snapshot swap."""
-        self._mutate("insert", lambda: self.warehouse.insert(records))
+        records = [tuple(r) for r in records]
+        self._mutate("insert", lambda: self.warehouse.insert(records),
+                     batch_key=("insert", tuple(records)))
 
     def delete(self, records) -> None:
         """Delete a batch; same publication discipline as :meth:`insert`."""
-        self._mutate("delete", lambda: self.warehouse.delete(records))
+        records = [tuple(r) for r in records]
+        self._mutate("delete", lambda: self.warehouse.delete(records),
+                     batch_key=("delete", tuple(records)))
 
     def write(self, inserts=(), deletes=()) -> None:
         """Apply one mixed maintenance batch (deletes before inserts).
@@ -329,9 +580,12 @@ class QCServer:
         WAL record, one merged delta, one refreeze patch — and a
         *single* snapshot publication.
         """
+        inserts = [tuple(r) for r in inserts]
+        deletes = [tuple(r) for r in deletes]
         self._mutate(
             "write",
             lambda: self.warehouse.maintain(inserts=inserts, deletes=deletes),
+            batch_key=("write", tuple(inserts), tuple(deletes)),
         )
 
     def modify(self, old_records, new_records) -> None:
@@ -339,32 +593,111 @@ class QCServer:
         server operation — one mixed maintenance batch with a *single*
         snapshot publication, so readers never observe the
         deleted-but-not-reinserted middle."""
+        old_records = [tuple(r) for r in old_records]
+        new_records = [tuple(r) for r in new_records]
         self._mutate(
             "modify",
             lambda: self.warehouse.maintain(
                 inserts=new_records, deletes=old_records
             ),
+            batch_key=("write", tuple(new_records), tuple(old_records)),
         )
 
-    def _mutate(self, op: str, apply) -> None:
+    def _mutate(self, op: str, apply, batch_key=None) -> None:
+        """The recoverable write pipeline: maintain → refreeze →
+        publish → warm, each phase with its own failure containment.
+
+        ========== ==========================================================
+        phase      on failure
+        ========== ==========================================================
+        maintain   transactional rollback already restored the tree; the
+                   error re-raises to the caller, the batch's failure
+                   count rises toward quarantine.
+        refreeze   discard the suspect patch state and recompile the
+                   frozen view from the dict tree; a second failure
+                   enters degraded read-only mode.
+        publish    retry once from a freshly recompiled view; a second
+                   failure enters degraded read-only mode (readers keep
+                   the last-good snapshot — the swap is the final
+                   statement of :meth:`_publish`, so it cannot tear).
+        warm       absorbed: warming is an optimization and the write
+                   has already published.
+        ========== ==========================================================
+
+        Once maintenance succeeds the batch is durably applied (and WAL-
+        logged); later-phase failures are *publication* failures — the
+        write surfaces as :class:`~repro.errors.ServerDegradedError`
+        but will become visible when recovery republishes.
+        """
         if self._closed:
             raise ServerClosedError("server is closed")
         metrics = self._metrics
         warehouse = self.warehouse
         with self._write_lock:
+            if self._write_degraded:
+                # Probe: the fault may have cleared since we degraded.
+                self._try_exit_degraded_locked(op)
+            if batch_key is not None and batch_key in self._quarantined:
+                raise WriteQuarantinedError(
+                    f"write batch rejected: {self._quarantine_after} "
+                    f"earlier attempts of this exact batch crashed the "
+                    f"writer's maintenance phase"
+                )
             warehouse.last_maintenance = None
             t0 = time.monotonic()
-            apply()
+            try:
+                self._fire("write:maintain")
+                apply()
+            except BaseException as exc:
+                # Transactional maintenance: the tree is unchanged.
+                metrics.counter("writes_failed").inc()
+                self._note_write_error(op, "maintain", exc)
+                self._note_maintain_failure(batch_key)
+                raise
+            self._note_maintain_success(batch_key)
             t1 = time.monotonic()
             # Bring the frozen view current *before* building the
             # snapshot, so the refreeze (incremental patch or full
             # recompile) is measured as its own phase and the publish
             # phase is just snapshot construction + the reference swap.
-            warehouse.serving_tree
+            try:
+                self._fire("write:refreeze")
+                warehouse.serving_tree
+            except BaseException as exc:
+                metrics.counter("refreeze_fallbacks").inc()
+                self._note_write_error(op, "refreeze", exc)
+                try:
+                    self._fire("write:refreeze")  # a persistent fault
+                    warehouse.invalidate_serving_view()
+                    warehouse.serving_tree
+                except BaseException as retry_exc:
+                    raise self._enter_degraded_locked(
+                        op, "refreeze", retry_exc
+                    ) from retry_exc
             t2 = time.monotonic()
-            self._publish()
+            try:
+                self._fire("write:publish")
+                self._publish()
+            except BaseException as exc:
+                metrics.counter("publish_retries").inc()
+                self._note_write_error(op, "publish", exc)
+                try:
+                    self._fire("write:publish")  # a persistent fault
+                    warehouse.invalidate_serving_view()
+                    warehouse.serving_tree
+                    self._publish()
+                except BaseException as retry_exc:
+                    raise self._enter_degraded_locked(
+                        op, "publish", retry_exc
+                    ) from retry_exc
             t3 = time.monotonic()
-            self._warm_cache()
+            try:
+                self._fire("write:warm")
+                self._warm_cache()
+            except BaseException as exc:
+                # Never fatal: the write has already published.
+                metrics.counter("warm_failures").inc()
+                self._note_write_error(op, "warm", exc)
             t4 = time.monotonic()
         refreeze = warehouse.last_refreeze
         if refreeze is not None:
@@ -386,6 +719,89 @@ class QCServer:
         metrics.observe("write_phase:refreeze", t2 - t1)
         metrics.observe("write_phase:publish", t3 - t2)
         metrics.observe("write_phase:warm", t4 - t3)
+
+    # -- write-pipeline fault state (write lock held) ------------------------
+
+    def _note_write_error(self, op: str, phase: str, exc) -> None:
+        self.last_write_error = {
+            "op": op, "phase": phase, "error": repr(exc),
+        }
+
+    def _note_maintain_failure(self, batch_key) -> None:
+        if batch_key is None:
+            return
+        count = self._write_failures.get(batch_key, 0) + 1
+        self._write_failures[batch_key] = count
+        if count >= self._quarantine_after:
+            self._quarantined.add(batch_key)
+            self._metrics.counter("writes_quarantined").inc()
+
+    def _note_maintain_success(self, batch_key) -> None:
+        if batch_key is not None:
+            self._write_failures.pop(batch_key, None)
+
+    def lift_quarantine(self) -> int:
+        """Clear the write quarantine (e.g. after an operator fixed the
+        underlying cause); returns how many batches were released."""
+        with self._write_lock:
+            released = len(self._quarantined)
+            self._quarantined.clear()
+            self._write_failures.clear()
+        return released
+
+    def _enter_degraded_locked(self, op: str, phase: str,
+                               exc) -> ServerDegradedError:
+        """Flip to degraded read-only mode; returns the error to raise."""
+        if not self._write_degraded:
+            self._write_degraded = True
+            self._metrics.counter("degraded_entered").inc()
+        self._degraded_reason = {
+            "op": op, "phase": phase, "error": repr(exc),
+        }
+        return ServerDegradedError(
+            f"write {op!r} applied its maintenance but the {phase} phase "
+            f"failed even through its fallback ({exc!r}); server is now "
+            f"degraded read-only, serving the last-good snapshot — the "
+            f"write publishes when recovery succeeds"
+        )
+
+    def _try_exit_degraded_locked(self, op: str) -> None:
+        """Probe the publication path; clears degraded mode on success,
+        raises :class:`ServerDegradedError` when still broken."""
+        try:
+            self._fire("write:refreeze")
+            self.warehouse.invalidate_serving_view()
+            self.warehouse.serving_tree
+            self._fire("write:publish")
+            self._publish()
+        except BaseException as exc:
+            self._degraded_reason = {
+                "op": op, "phase": "recovery", "error": repr(exc),
+            }
+            raise ServerDegradedError(
+                f"server is degraded read-only and the recovery probe "
+                f"failed again ({exc!r}); write {op!r} rejected"
+            ) from exc
+        self._write_degraded = False
+        self._degraded_reason = None
+        self._metrics.counter("degraded_exited").inc()
+
+    def recover(self) -> bool:
+        """Probe the write pipeline and exit degraded read-only mode.
+
+        Returns True when the server is healthy afterwards (including
+        when it was never degraded); False when the probe failed and
+        the server stays degraded.  Writes probe implicitly, so calling
+        this is only needed to recover without issuing a write.
+        """
+        with self._write_lock:
+            if not self._write_degraded:
+                return True
+            try:
+                self._try_exit_degraded_locked("recover")
+            except ServerDegradedError:
+                return False
+        return True
 
     # -- cache warming (writer thread, post-swap) ----------------------------
 
@@ -438,19 +854,35 @@ class QCServer:
     # -- lifecycle & reporting -----------------------------------------------
 
     def close(self, timeout: Optional[float] = None) -> None:
-        """Shut down: stop admissions, fail stranded requests, join the
-        workers.  Idempotent.  After it returns no server thread is
-        alive — the no-leaked-threads guarantee CI checks."""
+        """Shut down: stop the supervisor, stop admissions, fail
+        stranded requests, join the workers.  Idempotent.  After it
+        returns no server thread is alive — the no-leaked-threads
+        guarantee CI checks."""
         with self._lifecycle_lock:
             if self._closed:
                 return
             self._closed = True
+        # Supervisor first, so no worker is respawned mid-shutdown.
+        self._stop_supervisor.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout)
         for request in self._queue.close():
-            self._metrics.counter("errors").inc()
-            request.future.set_exception(
-                ServerClosedError("server shut down before request ran")
-            )
-        for thread in self._workers:
+            self._metrics.counter("stranded").inc()
+            future = request.future
+            if future is None:
+                continue
+            if future.set_running_or_notify_cancel():
+                self._metrics.counter("errors").inc()
+                future.set_exception(
+                    ServerClosedError("server shut down before request ran")
+                )
+            else:
+                # Stranded *and* already cancelled by the caller; keep
+                # the admission ledger balanced under ``cancelled``.
+                self._metrics.counter("cancelled").inc()
+        with self._worker_lock:
+            workers = list(self._workers)
+        for thread in workers:
             thread.join(timeout)
 
     def __enter__(self) -> "QCServer":
@@ -465,12 +897,16 @@ class QCServer:
 
     def stats(self) -> dict:
         """Operational readout: counters, per-op latency histograms,
-        queue depth, worker liveness, snapshot identity, cache health."""
+        queue depth, worker/supervisor health, snapshot identity,
+        degraded/breaker state, cache health.
+
+        The admission ledger balances as ``submitted == completed +
+        timeouts + errors + cancelled`` (stranded requests are counted
+        under ``errors`` or ``cancelled``; ``shed`` and
+        ``breaker_rejected`` requests were never submitted).
+        """
         stats = self._metrics.to_dict()
-        stats["workers"] = {
-            "configured": len(self._workers),
-            "alive": sum(1 for t in self._workers if t.is_alive()),
-        }
+        stats["workers"] = self.worker_health()
         stats["queue"] = {
             "depth": self._queue.depth(),
             "maxsize": self._queue.maxsize,
@@ -485,14 +921,23 @@ class QCServer:
         stats["maintenance"] = (
             dict(maintenance) if maintenance is not None else None
         )
+        stats["degraded"] = {
+            "writes": self._write_degraded,
+            "reason": self._degraded_reason,
+            "quarantined_batches": len(self._quarantined),
+        }
+        stats["breaker"] = (
+            self._breaker.snapshot() if self._breaker is not None else None
+        )
         stats["closed"] = self._closed
         return stats
 
     def __repr__(self):
         lsn, epoch = self._snapshot.stamp
+        degraded = ", degraded" if self._write_degraded else ""
         return (
             f"QCServer(workers={len(self._workers)}, "
             f"queue={self._queue.depth()}/{self._queue.maxsize}, "
             f"snapshot=(lsn={lsn}, epoch={epoch}), "
-            f"closed={self._closed})"
+            f"closed={self._closed}{degraded})"
         )

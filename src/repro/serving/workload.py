@@ -111,14 +111,28 @@ def register_stalled_point(server, stall_s: float,
 
 
 def run_closed_loop(server, requests, clients: int = 4,
-                    timeout: Optional[float] = None) -> dict:
+                    timeout: Optional[float] = None, retry=None) -> dict:
     """Drive ``requests`` through ``server`` from ``clients`` closed-loop
-    threads; returns throughput and client-observed latency."""
+    threads; returns throughput and client-observed latency.
+
+    ``retry`` takes a :class:`~repro.serving.retry.RetryPolicy`; each
+    client then re-issues transiently failed reads (shed, expired,
+    worker-crashed) with backoff before giving up, and the result gains
+    a ``retries`` block.  Latency is still measured over the whole call,
+    retries included — that is what the caller experienced.
+    """
     if clients < 1:
         raise ServingError(f"need at least one client, got {clients}")
     shards = [requests[i::clients] for i in range(clients)]
     barrier = threading.Barrier(clients + 1)
     outcomes = [None] * clients
+
+    def issue(op, args):
+        if retry is None:
+            return server.submit(op, *args, timeout=timeout).result()
+        return retry.call(
+            lambda: server.submit(op, *args, timeout=timeout).result()
+        )
 
     def client(ix):
         latencies = []
@@ -127,7 +141,7 @@ def run_closed_loop(server, requests, clients: int = 4,
         for op, args in shards[ix]:
             start = time.perf_counter()
             try:
-                server.submit(op, *args, timeout=timeout).result()
+                issue(op, args)
                 ok += 1
             except ServerOverloadedError:
                 shed += 1
@@ -153,7 +167,7 @@ def run_closed_loop(server, requests, clients: int = 4,
 
     latencies = [lat for out in outcomes for lat in out[0]]
     ok = sum(out[1] for out in outcomes)
-    return {
+    result = {
         "model": "closed",
         "clients": clients,
         "requests": len(requests),
@@ -165,6 +179,9 @@ def run_closed_loop(server, requests, clients: int = 4,
         "throughput_rps": round(ok / wall_s, 3) if wall_s > 0 else 0.0,
         "latency": _latency_summary(latencies),
     }
+    if retry is not None:
+        result["retries"] = retry.stats()
+    return result
 
 
 def run_open_loop(server, requests, rate_hz: float,
@@ -227,37 +244,53 @@ def run_open_loop(server, requests, rate_hz: float,
 
 def run_mixed(server, requests, clients: int, write_batches,
               write_interval_s: float = 0.0,
-              timeout: Optional[float] = None) -> dict:
+              timeout: Optional[float] = None, retry=None,
+              tolerate_write_errors: bool = False) -> dict:
     """Closed-loop reads with a concurrent single-writer mutation stream.
 
     ``write_batches`` is a list of ``("insert" | "delete", records)``
     pairs applied in order (each one refreezes and swaps the snapshot).
     Returns the read result plus writer latency and swap count —
     the numbers that show readers not blocking on writers.
+
+    ``retry`` is forwarded to :func:`run_closed_loop`.  With
+    ``tolerate_write_errors`` (chaos runs) the writer records failed
+    batches — including injected crashes — instead of dying, attempts
+    :meth:`~repro.serving.server.QCServer.recover` after each failure,
+    and reports ``writes.failed``.
     """
     write_latencies = []
+    write_failures = []
 
     def writer():
         for kind, records in write_batches:
             start = time.perf_counter()
-            if kind == "insert":
-                server.insert(records)
-            elif kind == "delete":
-                server.delete(records)
+            try:
+                if kind == "insert":
+                    server.insert(records)
+                elif kind == "delete":
+                    server.delete(records)
+                else:
+                    raise ServingError(f"unknown write kind {kind!r}")
+            except BaseException as exc:
+                if not tolerate_write_errors:
+                    raise
+                write_failures.append(type(exc).__name__)
+                server.recover()
             else:
-                raise ServingError(f"unknown write kind {kind!r}")
-            write_latencies.append(time.perf_counter() - start)
+                write_latencies.append(time.perf_counter() - start)
             if write_interval_s:
                 time.sleep(write_interval_s)
 
     writer_thread = threading.Thread(target=writer, name="mixed-writer")
     writer_thread.start()
     read_result = run_closed_loop(server, requests, clients=clients,
-                                  timeout=timeout)
+                                  timeout=timeout, retry=retry)
     writer_thread.join()
     read_result["model"] = "mixed"
     read_result["writes"] = {
         "batches": len(write_batches),
+        "failed": len(write_failures),
         "latency": _latency_summary(write_latencies),
     }
     # Per-phase write breakdown (maintain / refreeze / publish / warm)

@@ -226,7 +226,8 @@ class TestMetrics:
         counters = server.stats()["counters"]
         assert counters["submitted"] == 6
         assert counters["submitted"] == (
-            counters["completed"] + counters["timeouts"] + counters["errors"]
+            counters["completed"] + counters["timeouts"]
+            + counters["errors"] + counters["cancelled"]
         )
 
     def test_per_op_histograms(self, server):
@@ -261,6 +262,57 @@ class TestMetrics:
         metrics = ServerMetrics()
         metrics.counter("special").inc(3)
         assert metrics.to_dict()["counters"]["special"] == 3
+
+
+def ledger_balances(counters) -> bool:
+    """The admission ledger: every submitted request has one outcome."""
+    return counters["submitted"] == (
+        counters["completed"] + counters["timeouts"]
+        + counters["errors"] + counters["cancelled"]
+    )
+
+
+class TestCancellation:
+    def test_cancelled_request_counted_in_ledger(self, warehouse):
+        with QCServer(warehouse, workers=1, queue_size=8) as srv:
+            release, entered = register_gate(srv)
+            blocker = srv.submit("gate")
+            assert entered.wait(5.0)
+            victim = srv.submit("point", ("S2", "*", "f"))
+            assert victim.cancel()
+            release.set()
+            assert blocker.result(5.0) == "gated"
+            deadline = time.monotonic() + 5.0
+            while (srv.stats()["counters"]["cancelled"] < 1
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            counters = srv.stats()["counters"]
+            assert counters["cancelled"] == 1
+            assert ledger_balances(counters)
+
+    def test_cancelled_future_stranded_at_close(self, warehouse):
+        """close() must not blow up on a stranded request whose future
+        the caller already cancelled; it lands under ``cancelled``."""
+        srv = QCServer(warehouse, workers=1, queue_size=8)
+        release, entered = register_gate(srv)
+        blocker = srv.submit("gate")
+        assert entered.wait(5.0)
+        stranded = srv.submit("point", ("S2", "*", "f"))
+        dropped = srv.submit("point", ("S2", "*", "f"))
+        assert dropped.cancel()
+        closer = threading.Thread(target=srv.close)
+        closer.start()
+        time.sleep(0.05)
+        release.set()
+        closer.join(5.0)
+        assert not closer.is_alive()
+        assert blocker.result(5.0) == "gated"
+        with pytest.raises(ServerClosedError):
+            stranded.result(5.0)
+        counters = srv.stats()["counters"]
+        assert counters["stranded"] == 2
+        assert counters["cancelled"] == 1
+        assert ledger_balances(counters)
 
 
 class TestWritePath:

@@ -14,14 +14,23 @@ so two properties pin linearizability:
 
 Afterwards the metrics ledger must balance and closing the server must
 leave no threads behind.
+
+Setting ``REPRO_STRESS_FAULTS=1`` (CI's chaos guard) reruns the same
+workload under seeded fault injection — worker kills and injected slow
+ops — with retrying readers.  The linearizability properties must hold
+unchanged: killed workers never produce torn or stale-out-of-order
+answers, only retried ones.
 """
 
 from __future__ import annotations
 
+import os
 import threading
+import time
 
 from repro.core.warehouse import QCWarehouse
-from repro.serving import QCServer
+from repro.reliability.faults import ChaosMonkey, ServingFaults
+from repro.serving import QCServer, RetryPolicy
 from tests.conftest import make_random_table
 
 N_CLIENTS = 4
@@ -29,6 +38,33 @@ N_BATCHES = 12
 BATCH_SIZE = 3
 READS_PER_CLIENT = 150
 ROOT = ("*", "*", "*")
+
+#: CI chaos guard: rerun the stress suite under fault injection.
+FAULTS = os.environ.get("REPRO_STRESS_FAULTS") == "1"
+
+
+def make_server(warehouse, **kwargs):
+    """The stress server, plus a started ChaosMonkey in faults mode."""
+    if not FAULTS:
+        return QCServer(warehouse, **kwargs), None
+    faults = ServingFaults()
+    server = QCServer(warehouse, faults=faults,
+                      supervise_interval=0.01, **kwargs)
+    # Read-side chaos only: worker kills and slow ops.  Write-pipeline
+    # crashes live in test_serving_faults; here the writer must publish
+    # every batch so the published-value set stays exact.
+    monkey = ChaosMonkey(faults, seed=99, interval_s=0.01,
+                         weights={"kill": 1, "op_slow": 1},
+                         slow_s=0.002).start()
+    return server, monkey
+
+
+def make_reader():
+    """A read issuer: plain in the clean run, retrying under faults."""
+    if not FAULTS:
+        return lambda server, cell: server.point(cell)
+    policy = RetryPolicy(max_attempts=8)
+    return lambda server, cell: policy.call(server.point, cell)
 
 
 def test_readers_see_only_published_snapshots():
@@ -44,15 +80,16 @@ def test_readers_see_only_published_snapshots():
         for b in range(N_BATCHES)
     ]
 
-    server = QCServer(warehouse, workers=N_CLIENTS, queue_size=256,
-                      name="stress")
+    server, monkey = make_server(warehouse, workers=N_CLIENTS,
+                                 queue_size=256, name="stress")
+    read = make_reader()
     observations = [[] for _ in range(N_CLIENTS)]
     start = threading.Barrier(N_CLIENTS + 2)
 
     def reader(ix):
         start.wait()
         for _ in range(READS_PER_CLIENT):
-            observations[ix].append(server.point(ROOT))
+            observations[ix].append(read(server, ROOT))
 
     def writer():
         start.wait()
@@ -68,8 +105,11 @@ def test_readers_see_only_published_snapshots():
     start.wait()
     for thread in threads:
         thread.join()
+    if monkey is not None:
+        monkey.stop()
 
-    # 1. Linearizable snapshot reads: only published counts, in order.
+    # 1. Linearizable snapshot reads: only published counts, in order —
+    #    with or without injected worker kills.
     for series in observations:
         assert len(series) == READS_PER_CLIENT
         assert set(series) <= valid_counts, (
@@ -82,17 +122,32 @@ def test_readers_see_only_published_snapshots():
     assert stats["counters"]["snapshot_swaps"] == N_BATCHES
     assert stats["snapshot"]["epoch"] == N_BATCHES
 
-    # 2. The metrics ledger balances: nothing was shed or timed out
-    #    (queue_size covers the offered load), so every submitted
-    #    request completed.
+    # 2. The metrics ledger balances.
     counters = stats["counters"]
     assert counters["shed"] == 0 and counters["timeouts"] == 0
-    assert counters["submitted"] == N_CLIENTS * READS_PER_CLIENT + 1
     assert counters["submitted"] == (
-        counters["completed"] + counters["timeouts"] + counters["errors"]
+        counters["completed"] + counters["timeouts"]
+        + counters["errors"] + counters["cancelled"]
     )
-    assert counters["errors"] == 0
-    assert stats["ops"]["point"]["count"] == counters["completed"]
+    if FAULTS:
+        # Every error is an injected worker death, each one counted and
+        # covered by a retry (the observation series are full length).
+        assert counters["errors"] == counters["worker_crashes"]
+        # The supervisor replaces every killed worker (it may still be
+        # mid-scan when the workload drains, so give it a moment).
+        deadline = time.monotonic() + 5.0
+        while (server.worker_health()["alive"] < N_CLIENTS
+               and time.monotonic() < deadline):
+            time.sleep(0.01)
+        assert server.worker_health()["alive"] == N_CLIENTS
+        restarts = server.stats()["counters"]["worker_restarts"]
+        assert restarts == counters["worker_crashes"]
+    else:
+        # Nothing was shed or timed out (queue_size covers the offered
+        # load), so every submitted request completed.
+        assert counters["submitted"] == N_CLIENTS * READS_PER_CLIENT + 1
+        assert counters["errors"] == 0
+        assert stats["ops"]["point"]["count"] == counters["completed"]
 
     # 3. Clean shutdown leaves no server threads behind.
     server.close()
@@ -113,13 +168,15 @@ def test_mixed_insert_delete_membership():
     # Published count after each step of the plan:
     valid = {base, base + 1, base + 2}
 
-    with QCServer(warehouse, workers=3, queue_size=256) as server:
+    server, monkey = make_server(warehouse, workers=3, queue_size=256)
+    read = make_reader()
+    try:
         seen = []
         done = threading.Event()
 
         def reader():
             while not done.is_set():
-                seen.append(server.point(("*", "*")))
+                seen.append(read(server, ("*", "*")))
 
         threads = [threading.Thread(target=reader) for _ in range(2)]
         for thread in threads:
@@ -133,3 +190,7 @@ def test_mixed_insert_delete_membership():
         assert seen, "readers made no progress"
         assert set(seen) <= valid
         assert server.point(("*", "*")) == base
+    finally:
+        if monkey is not None:
+            monkey.stop()
+        server.close()
