@@ -1,0 +1,284 @@
+"""Incremental cover index vs per-batch rebuild — the write path's tax.
+
+Not a paper figure: this benchmark isolates the cover-index component
+of write latency on the Figure-14 synthetic setup (20000 rows, 6 dims,
+cardinality 30, Zipf factor 2).  ``BENCH_maintenance.json`` left one
+per-batch cost proportional to *cube size* rather than batch size: any
+batch that mints a new class bound (or deletes at all) used to pay a
+full ``CoverIndex(new_table)`` rebuild — O(rows × dims) posting-list
+derivation — even for a one-tuple write.
+
+The same mixed mutation stream (deletes + inserts per batch, drawn
+against the evolving table) is driven through the batched maintenance
+engine twice from identical tree copies:
+
+* **patched** — one long-lived :class:`~repro.cube.cover_index.CoverIndex`
+  built once from the base table, then kept in sync per batch via
+  ``apply_deletes``/``apply_inserts`` (``maintain_batch(...,
+  cover_index=index)``).  The index sub-phase cost is the patch: O(batch
+  × dims) posting edits plus watcher-targeted memo invalidation;
+* **rebuilt** — ``cover_index=None``, the pre-incremental behaviour:
+  every batch that needs a full-table index derives one from scratch.
+
+Both runs are closed by the differential oracle: patched tree ≡ rebuilt
+tree ≡ from-scratch construction of the final table (exact signature),
+and the patched index ≡ a fresh ``CoverIndex`` over the final table —
+posting-for-posting on every dimension and closure-for-closure /
+position-for-position over a cell sample.
+
+Results go to ``BENCH_cover_index.json`` at the repo root (committed,
+diffable PR over PR) and a table under ``benchmarks/results/``.  The
+acceptance bar is ≥2× on the index sub-phase (patched vs rebuilt) at
+full scale; ``--quick`` (or ``REPRO_BENCH_QUICK=1``) scales down for CI
+smoke runs but still enforces patched < rebuilt as a regression guard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import time
+
+from common import print_table
+from repro.core.cells import ALL
+from repro.core.construct import build_qctree
+from repro.core.maintenance import maintain_batch
+from repro.cube.cover_index import CoverIndex
+from repro.data.synthetic import zipf_table
+
+OUT_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_cover_index.json"
+)
+
+FULL = dict(n_rows=20000, n_dims=6, card=30, batch_size=64, n_batches=12,
+            deletes_per_batch=16, closure_samples=256,
+            min_index_speedup=2.0)
+QUICK = dict(n_rows=800, n_dims=5, card=20, batch_size=16, n_batches=5,
+             deletes_per_batch=4, closure_samples=64,
+             min_index_speedup=1.0)
+
+
+def _quick_from_env() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def _insert_records(table, config, count, seed):
+    """In-domain raw insert records (no fresh labels, so both runs share
+    one encoding and the trees compare by exact signature)."""
+    rng = random.Random(seed)
+    records = []
+    for _ in range(count):
+        cell = tuple(
+            rng.randrange(config["card"]) for _ in range(config["n_dims"])
+        )
+        records.append(table.decode_cell(cell) + (1.0,))
+    return records
+
+
+def _delete_records(table, rng, count):
+    """Raw delete records naming distinct existing rows."""
+    picks = rng.sample(range(table.n_rows), count)
+    return [
+        table.decode_cell(table.rows[i]) + tuple(table.measures[i])
+        for i in picks
+    ]
+
+
+def _plan(base_table, config):
+    """One mixed mutation stream, deletes drawn against the evolving
+    table so every batch names rows that still exist when it runs."""
+    from repro.core.maintenance.delete import resolve_deletions
+
+    rng = random.Random(7)
+    n_ins = config["batch_size"] - config["deletes_per_batch"]
+    plan, sim_table = [], base_table
+    for i in range(config["n_batches"]):
+        deletes = _delete_records(sim_table, rng, config["deletes_per_batch"])
+        inserts = _insert_records(base_table, config, n_ins, seed=500 + i)
+        plan.append((deletes, inserts))
+        mid, _ = resolve_deletions(sim_table, deletes)
+        sim_table, _ = mid.extended(inserts)
+    return plan
+
+
+def _sample_cells(table, count, seed):
+    """Query cells biased toward non-empty covers: generalize random base
+    rows on a random dimension subset, plus a few arbitrary cells."""
+    rng = random.Random(seed)
+    n_dims = table.n_dims
+    cells = set()
+    while len(cells) < count:
+        if table.n_rows and rng.random() < 0.75:
+            row = table.rows[rng.randrange(table.n_rows)]
+            cells.add(tuple(
+                v if rng.random() < 0.5 else ALL for v in row
+            ))
+        else:
+            cells.add(tuple(
+                rng.randrange(table.cardinality(j))
+                if rng.random() < 0.5 else ALL
+                for j in range(n_dims)
+            ))
+    return sorted(cells, key=repr)
+
+
+def _index_oracle(index, table, config) -> bool:
+    """patched index ≡ freshly built over the final table."""
+    fresh = CoverIndex(table)
+    for j in range(table.n_dims):
+        if index.postings(j) != fresh.postings(j):
+            return False
+    for cell in _sample_cells(table, config["closure_samples"], seed=3):
+        if index.positions(cell) != fresh.rows(cell):
+            return False
+        if index.closure(cell) != fresh.closure(cell):
+            return False
+        if index.covers_any(cell) != fresh.covers_any(cell):
+            return False
+    return True
+
+
+def measure(config) -> dict:
+    base_table = zipf_table(config["n_rows"], config["n_dims"],
+                            config["card"], seed=0)
+    base_tree = build_qctree(base_table, "count")
+    plan = _plan(base_table, config)
+
+    # Patched: one index for the whole stream, synced per batch.
+    tree_p, table_p = base_tree.copy(), base_table
+    t0 = time.perf_counter()
+    index = CoverIndex(base_table)
+    build_s = time.perf_counter() - t0
+    patched_index_s, patched_wall_s, evictions = 0.0, 0.0, 0
+    for deletes, inserts in plan:
+        t0 = time.perf_counter()
+        result = maintain_batch(tree_p, table_p, inserts=inserts,
+                                deletes=deletes, cover_index=index)
+        patched_wall_s += time.perf_counter() - t0
+        table_p = result.table
+        patched_index_s += result.stats["index_s"]
+        evictions += result.stats["index_evictions"]
+        assert result.stats["cover_index"] == "patched"
+
+    # Rebuilt: the pre-incremental behaviour, a fresh full-table index
+    # inside every batch that needs one.
+    tree_r, table_r = base_tree.copy(), base_table
+    rebuilt_index_s, rebuilt_wall_s, rebuilds = 0.0, 0.0, 0
+    for deletes, inserts in plan:
+        t0 = time.perf_counter()
+        result = maintain_batch(tree_r, table_r, inserts=inserts,
+                                deletes=deletes)
+        rebuilt_wall_s += time.perf_counter() - t0
+        table_r = result.table
+        rebuilt_index_s += result.stats["index_s"]
+        if result.stats["cover_index"] == "rebuilt":
+            rebuilds += 1
+
+    sig = tree_p.signature()
+    oracle_tree = (
+        sig == tree_r.signature()
+        and sorted(table_p.rows) == sorted(table_r.rows)
+        and sig == build_qctree(table_p, "count").signature()
+    )
+    oracle_index = _index_oracle(index, table_p, config)
+
+    n_batches = len(plan)
+    index_speedup = rebuilt_index_s / patched_index_s \
+        if patched_index_s else 0.0
+    return {
+        "config": dict(config),
+        "patched": {
+            "build_s": round(build_s, 6),
+            "index_s": round(patched_index_s, 6),
+            "index_us_per_batch": round(
+                patched_index_s * 1e6 / n_batches, 3),
+            "wall_s": round(patched_wall_s, 6),
+            "evictions": evictions,
+            "surviving_memos": index.stats()["cached_rows"],
+        },
+        "rebuilt": {
+            "index_s": round(rebuilt_index_s, 6),
+            "index_us_per_batch": round(
+                rebuilt_index_s * 1e6 / n_batches, 3),
+            "wall_s": round(rebuilt_wall_s, 6),
+            "rebuilds": rebuilds,
+        },
+        "speedups": {
+            "index": round(index_speedup, 3),
+            # Counting the one-time initial build against the patched
+            # side — what a warehouse actually pays over the stream.
+            "index_amortized": round(
+                rebuilt_index_s / (build_s + patched_index_s), 3)
+            if build_s + patched_index_s else 0.0,
+            "end_to_end": round(rebuilt_wall_s / patched_wall_s, 3)
+            if patched_wall_s else 0.0,
+        },
+        "acceptance": {
+            "min_index_speedup": config["min_index_speedup"],
+            "index_speedup": round(index_speedup, 3),
+            "oracle_tree": oracle_tree,
+            "oracle_index": oracle_index,
+            "oracle_all": oracle_tree and oracle_index,
+        },
+    }
+
+
+def report(results, out_path=OUT_PATH) -> None:
+    with open(out_path, "w") as fp:
+        json.dump(results, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    patched, rebuilt = results["patched"], results["rebuilt"]
+    rows = [
+        ["patched", patched["index_us_per_batch"], patched["wall_s"],
+         f"evictions={patched['evictions']}"],
+        ["rebuilt", rebuilt["index_us_per_batch"], rebuilt["wall_s"],
+         f"rebuilds={rebuilt['rebuilds']}"],
+        ["speedup", results["speedups"]["index"],
+         results["speedups"]["end_to_end"],
+         f"oracle={results['acceptance']['oracle_all']}"],
+    ]
+    print_table(
+        "Cover index: patched vs per-batch rebuild (index us/batch)",
+        ["mode", "index us/batch", "wall s", "notes"],
+        rows,
+        result_file="cover_index.txt",
+    )
+
+
+def test_cover_index_report(benchmark):
+    config = QUICK if _quick_from_env() else FULL
+    results = benchmark.pedantic(measure, args=(config,),
+                                 rounds=1, iterations=1)
+    report(results)
+    acceptance = results["acceptance"]
+    # The differential oracle must close the run: identical trees AND an
+    # identical index, posting-for-posting and closure-for-closure.
+    assert acceptance["oracle_all"], results
+    # The rebuild path must actually have rebuilt (else the comparison
+    # is vacuous) and patching must beat it as a regression guard...
+    assert results["rebuilt"]["rebuilds"] > 0, results["rebuilt"]
+    assert results["patched"]["index_s"] < results["rebuilt"]["index_s"], \
+        results
+    # ...clearing the acceptance bar (≥2× at Figure-14 scale; quick runs
+    # guard ≥1×).
+    assert acceptance["index_speedup"] >= acceptance["min_index_speedup"], \
+        acceptance
+
+
+def main(argv=None) -> int:
+    quick = _quick_from_env() or (argv is not None and "--quick" in argv) \
+        or "--quick" in sys.argv[1:]
+    results = measure(QUICK if quick else FULL)
+    report(results)
+    acceptance = results["acceptance"]
+    assert acceptance["oracle_all"], "differential oracle failed"
+    print(f"wrote {os.path.abspath(OUT_PATH)} "
+          f"(index speedup={acceptance['index_speedup']}x, "
+          f"end-to-end={results['speedups']['end_to_end']}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,8 @@ rebuild of the final base table.
 
 from __future__ import annotations
 
+import time
+
 from repro.core.maintenance.delete import batch_delete, resolve_deletions
 from repro.core.maintenance.insert import batch_insert
 from repro.cube.table import BaseTable
@@ -77,9 +79,14 @@ class BatchMaintenanceResult:
         covering the whole batch — one patchable dirty set no matter
         how many tuples or which mix of inserts and deletes;
     ``stats``
-        counts and the ``partition`` / ``merge`` sub-phase seconds
-        (``partition_s`` / ``merge_s``), plus ``noop`` for empty
-        batches.
+        counts and the ``partition`` / ``merge`` / ``index`` sub-phase
+        seconds (``partition_s`` / ``merge_s`` / ``index_s``), the
+        cover-index mode for the batch (``cover_index``:
+        ``"patched"`` when a persistent index absorbed the batch delta,
+        ``"rebuilt"`` when a full-table index had to be constructed,
+        ``None`` when the batch needed no full-table index at all),
+        ``index_evictions`` (memo entries a patch invalidated), plus
+        ``noop`` for empty batches.
     """
 
     __slots__ = ("table", "delta", "stats")
@@ -97,7 +104,8 @@ class BatchMaintenanceResult:
         )
 
 
-def maintain_batch(tree, table: BaseTable, inserts=(), deletes=()):
+def maintain_batch(tree, table: BaseTable, inserts=(), deletes=(),
+                   cover_index=None):
     """Apply one mixed maintenance batch to ``tree`` in place.
 
     ``inserts`` and ``deletes`` are raw records (dimension labels then
@@ -115,6 +123,18 @@ def maintain_batch(tree, table: BaseTable, inserts=(), deletes=()):
     deleting k copies requires k matching rows — exactly the semantics
     of running the tuples one at a time.
 
+    ``cover_index``, when given, is the caller's long-lived
+    :class:`~repro.cube.cover_index.CoverIndex`, *in sync with*
+    ``table``.  The batch delta is applied to it in place
+    (:meth:`~repro.cube.cover_index.CoverIndex.apply_deletes` then
+    :meth:`~repro.cube.cover_index.CoverIndex.apply_inserts`) instead
+    of re-deriving a full-table index inside the batch, and the
+    maintenance algorithms reuse its surviving posting sets and closure
+    memos.  On success the index is in sync with ``result.table``.  On
+    *failure* the tree rolls back but the index may already hold the
+    batch delta — the caller must discard it (the warehouse rebuilds
+    its index lazily after a failed batch).
+
     If the tree already has an active delta recorder
     (:meth:`QCTree.begin_delta <repro.core.qctree.QCTree.begin_delta>`),
     the batch records into it; otherwise a recorder is scoped to this
@@ -127,6 +147,9 @@ def maintain_batch(tree, table: BaseTable, inserts=(), deletes=()):
         "deleted": len(deletes),
         "partition_s": 0.0,
         "merge_s": 0.0,
+        "index_s": 0.0,
+        "index_evictions": 0,
+        "cover_index": None,
         "noop": not inserts and not deletes,
     }
     owns_recorder = tree._delta is None
@@ -139,7 +162,8 @@ def maintain_batch(tree, table: BaseTable, inserts=(), deletes=()):
         # the whole batch against the pre-batch table before any tree
         # mutation, and the insert delta is encoded against the reduced
         # table (fresh labels keep their codes stable either way).
-        timings = {"partition": 0.0, "merge": 0.0}
+        timings = {"partition": 0.0, "merge": 0.0,
+                   "index": 0.0, "index_rebuilds": 0}
         if deletes:
             mid_table, delta_rows = resolve_deletions(table, deletes)
         else:
@@ -155,14 +179,42 @@ def maintain_batch(tree, table: BaseTable, inserts=(), deletes=()):
         else:
             new_table, delta_table = mid_table, None
 
+        # With a persistent index, each phase's delta is patched in just
+        # before the phase that needs it: batch_delete reads cover sets
+        # of the *reduced* table (deletes applied, inserts not yet),
+        # batch_insert of the final one.  Memo entries sharing no
+        # posting with the batch survive into this batch's closure
+        # work — the whole point of keeping the index alive.
+        evictions_before = \
+            cover_index.evictions if cover_index is not None else 0
+
+        def _patch(apply, payload):
+            _t = time.perf_counter()
+            apply(payload)
+            timings["index"] += time.perf_counter() - _t
+
         with transactional(tree):
             if delta_rows is not None:
-                batch_delete(tree, mid_table, delta_rows, timings=timings)
+                if cover_index is not None:
+                    _patch(cover_index.apply_deletes, delta_rows.positions)
+                batch_delete(tree, mid_table, delta_rows, timings=timings,
+                             cover_index=cover_index)
             if delta_table is not None:
-                batch_insert(tree, new_table, delta_table, timings=timings)
+                if cover_index is not None:
+                    _patch(cover_index.apply_inserts, delta_table.rows)
+                batch_insert(tree, new_table, delta_table, timings=timings,
+                             cover_index=cover_index)
+
+        if cover_index is not None:
+            stats["cover_index"] = "patched"
+            stats["index_evictions"] = \
+                cover_index.evictions - evictions_before
 
         stats["partition_s"] = timings["partition"]
         stats["merge_s"] = timings["merge"]
+        stats["index_s"] = timings["index"]
+        if cover_index is None and timings["index_rebuilds"]:
+            stats["cover_index"] = "rebuilt"
         return BatchMaintenanceResult(new_table, recorder, stats)
     finally:
         if owns_recorder:

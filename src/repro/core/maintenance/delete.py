@@ -99,7 +99,7 @@ def _truncate(cell: Cell, before_dim: int) -> Cell:
 
 
 def batch_delete(tree: QCTree, new_table: BaseTable, delta_rows,
-                 timings=None) -> None:
+                 timings=None, cover_index=None) -> None:
     """Apply the deletion of ``delta_rows`` (encoded dim tuples) in place.
 
     ``new_table`` must be the base table with those rows already removed
@@ -113,14 +113,28 @@ def batch_delete(tree: QCTree, new_table: BaseTable, delta_rows,
     (phase 1, computed against the pre-mutation tree); *merge* covers
     link invalidation, the structural apply, and the justification-based
     link refresh (phases 2–4).
+
+    ``cover_index``, when given, is a long-lived
+    :class:`~repro.cube.cover_index.CoverIndex` *already synced to*
+    ``new_table`` (the caller applied the deletions via
+    :meth:`~repro.cube.cover_index.CoverIndex.apply_deletes`); without
+    one, a fresh full-table index is built — the per-batch O(rows ×
+    dims) rebuild recorded under ``timings["index"]`` /
+    ``timings["index_rebuilds"]``.
     """
     if not delta_rows:
         return
     _t_start = time.perf_counter()
     agg = tree.aggregate
     n_dims = tree.n_dims
-    nt_rows = new_table.rows
-    new_index = CoverIndex(new_table)
+    if cover_index is not None:
+        new_index = cover_index
+    else:
+        new_index = CoverIndex(new_table)
+        if timings is not None:
+            timings["index"] = timings.get("index", 0.0) \
+                + (time.perf_counter() - _t_start)
+            timings["index_rebuilds"] = timings.get("index_rebuilds", 0) + 1
     delta_index = CoverIndex(rows=list(delta_rows), n_dims=n_dims)
     new_closure = new_index.closure
     delta_covers = delta_index.covers_any
@@ -160,7 +174,10 @@ def batch_delete(tree: QCTree, new_table: BaseTable, delta_rows,
                 else tree.state[source]
             )
         else:
-            state = agg.state(new_table, sorted(new_index.rows(w)))
+            # positions(), not rows(): the measure matrix is addressed by
+            # compacted table position, which diverges from the stable
+            # ids a long-lived index keeps across deletes.
+            state = agg.state(new_table, sorted(new_index.positions(w)))
         fates.append((ub, node, w, state))
     _t_partition = time.perf_counter()
 
@@ -225,7 +242,7 @@ def batch_delete(tree: QCTree, new_table: BaseTable, delta_rows,
             if w[j] is not ALL:
                 continue
             trunc = _truncate(w, j)
-            for v in sorted({nt_rows[i][j] for i in rows_w}):
+            for v in sorted({new_index.row(i)[j] for i in rows_w}):
                 candidates.add((trunc, j, v))
 
     # -- phase 4: justification-based refresh ---------------------------------
@@ -276,7 +293,10 @@ def batch_delete(tree: QCTree, new_table: BaseTable, delta_rows,
 
 class _DeltaRows(list):
     """Deleted encoded rows, carrying their measure matrix as ``.measures``
-    so subtractable aggregates (COUNT/SUM/AVG) can be updated in place."""
+    (so subtractable aggregates — COUNT/SUM/AVG — can be updated in
+    place) and the matched pre-deletion row positions as ``.positions``
+    (so a persistent cover index can patch itself via
+    :meth:`~repro.cube.cover_index.CoverIndex.apply_deletes`)."""
 
 
 def resolve_deletions(table: BaseTable, records):
@@ -314,6 +334,7 @@ def resolve_deletions(table: BaseTable, records):
     new_table = table.without_rows(drop)
     delta = _DeltaRows(table.rows[i] for i in drop)
     delta.measures = table.measures[drop]
+    delta.positions = drop
     return new_table, delta
 
 

@@ -98,7 +98,7 @@ def _truncate(cell: Cell, before_dim: int) -> Cell:
 
 
 def batch_insert(tree: QCTree, new_table: BaseTable, delta_table: BaseTable,
-                 timings=None) -> None:
+                 timings=None, cover_index=None) -> None:
     """Apply the insertion of ``delta_table``'s rows to ``tree`` in place.
 
     ``new_table`` must already contain the old rows plus the delta (use
@@ -114,6 +114,14 @@ def batch_insert(tree: QCTree, new_table: BaseTable, delta_table: BaseTable,
     1–2); *merge* covers link derivation and the structural apply (step
     3 onward).  The batched maintenance engine surfaces these as the
     ``write_phases`` sub-phases.
+
+    ``cover_index``, when given, is a long-lived
+    :class:`~repro.cube.cover_index.CoverIndex` *already synced to*
+    ``new_table`` (the caller applied the batch delta via
+    :meth:`~repro.cube.cover_index.CoverIndex.apply_inserts`); without
+    one, a fresh index over the full new table is built on demand —
+    the O(rows × dims) rebuild the persistent index exists to avoid
+    (``timings["index"]`` / ``timings["index_rebuilds"]`` record it).
     """
     if delta_table.n_dims != tree.n_dims:
         raise MaintenanceError(
@@ -219,7 +227,9 @@ def batch_insert(tree: QCTree, new_table: BaseTable, delta_table: BaseTable,
 
     # Step 3b: link candidates around new bounds (closures pre-mutation).
     new_links = []  # (source truncated context, j, v, target bound)
-    new_index = None  # built lazily: only batches creating bounds need it
+    # Built lazily: only batches creating bounds need a full-table index,
+    # and a persistent one (kept current by the caller) skips the rebuild.
+    new_index = cover_index
     for w in new_bounds:
         # Ancestors among the OLD classes; new-bound-to-new-bound links
         # are produced by the out-link pass below (every new bound's
@@ -237,13 +247,19 @@ def batch_insert(tree: QCTree, new_table: BaseTable, delta_table: BaseTable,
                     continue  # context rule: the node cannot claim this route
                 new_links.append((trunc, j, w[j], w))
         if new_index is None:
+            _t_index = time.perf_counter()
             new_index = CoverIndex(new_table)
+            if timings is not None:
+                timings["index"] = timings.get("index", 0.0) \
+                    + (time.perf_counter() - _t_index)
+                timings["index_rebuilds"] = \
+                    timings.get("index_rebuilds", 0) + 1
         rows_w = new_index.rows(w)
         for j in range(n_dims):
             if w[j] is not ALL:
                 continue
             trunc = _truncate(w, j)
-            for v in sorted({new_table.rows[i][j] for i in rows_w}):
+            for v in sorted({new_index.row(i)[j] for i in rows_w}):
                 target = new_closure(trunc[:j] + (v,) + trunc[j + 1:])
                 if target is None:
                     continue

@@ -108,11 +108,19 @@ class QCWarehouse:
         #: first one) — how the serving view was last brought current.
         self.last_refreeze: Optional[dict] = None
         #: Stats of the most recent :meth:`maintain` call (None before
-        #: the first one): tuple counts, ``partition_s`` / ``merge_s``
-        #: sub-phase seconds, and the delta summary.
+        #: the first one): tuple counts, ``partition_s`` / ``merge_s`` /
+        #: ``index_s`` sub-phase seconds, and the delta summary.
         self.last_maintenance: Optional[dict] = None
         self._maintain_batched = 0
         self._maintain_sequential = 0
+        # The long-lived cover index over the live table: built lazily
+        # on the first write (or deep verify), patched per batch from
+        # the maintenance delta afterwards, discarded whenever a failed
+        # batch leaves it ahead of the rolled-back table.
+        self._cover_index = None
+        self._cover_index_rebuilt = 0
+        self._cover_index_patched = 0
+        self._cover_index_evictions = 0
 
     @classmethod
     def from_records(cls, records, schema: Schema, aggregate="count",
@@ -314,6 +322,24 @@ class QCWarehouse:
 
     # -- maintenance ------------------------------------------------------------
 
+    @property
+    def cover_index(self):
+        """The persistent posting-list index over the live table.
+
+        One :class:`~repro.cube.cover_index.CoverIndex` per live table:
+        built from scratch at most once (counted under
+        ``cover_index.rebuilt`` in :meth:`stats`), then patched in
+        place by every maintenance batch — posting sets and surviving
+        closure memos carry across batches instead of being re-derived
+        per write.
+        """
+        if self._cover_index is None:
+            from repro.cube.cover_index import CoverIndex
+
+            self._cover_index = CoverIndex(self.table)
+            self._cover_index_rebuilt += 1
+        return self._cover_index
+
     def maintain(self, inserts=(), deletes=()) -> None:
         """Apply one mixed maintenance batch through the batched engine.
 
@@ -345,9 +371,19 @@ class QCWarehouse:
                 tagged = [("-",) + r for r in deletes]
                 tagged += [("+",) + r for r in inserts]
                 self.wal.append("maintain", tagged)
-        result = maintain_batch(self.tree, self.table,
-                                inserts=inserts, deletes=deletes)
+        try:
+            result = maintain_batch(self.tree, self.table,
+                                    inserts=inserts, deletes=deletes,
+                                    cover_index=self.cover_index)
+        except BaseException:
+            # The tree rolled back, but the persistent index may
+            # already hold the batch delta — drop it; the next batch
+            # rebuilds it lazily.
+            self._cover_index = None
+            raise
         self.table = result.table
+        self._cover_index_patched += 1
+        self._cover_index_evictions += result.stats["index_evictions"]
         if len(inserts) + len(deletes) > 1:
             self._maintain_batched += 1
         else:
@@ -559,14 +595,20 @@ class QCWarehouse:
             else:
                 inserts, deletes = (), record.records
             try:
-                # Replay runs the same batched engine as the live path,
+                # Replay runs the same batched engine as the live path —
+                # including the persistent cover index, built once from
+                # the checkpoint table and patched per replayed batch —
                 # so the recovered tree is node-for-node the live one.
                 result = maintain_batch(
-                    wh.tree, wh.table, inserts=inserts, deletes=deletes
+                    wh.tree, wh.table, inserts=inserts, deletes=deletes,
+                    cover_index=wh.cover_index,
                 )
                 wh.table = result.table
                 replayed += 1
             except MaintenanceError as exc:
+                # The tree rolled back but the index may hold the
+                # skipped batch's delta; rebuild it lazily.
+                wh._cover_index = None
                 skipped.append((record.lsn, str(exc)))
         wh._mutated()
         wh.wal = wal
@@ -594,6 +636,9 @@ class QCWarehouse:
             table=self.table if deep else None,
             samples=samples,
             seed=seed,
+            # Reuse the persistent index (when one is live) instead of
+            # re-deriving the posting lists for the aggregate pass.
+            cover_index=self._cover_index if deep else None,
         )
         was_degraded = self._degraded
         self._degraded = not report.ok
@@ -642,6 +687,14 @@ class QCWarehouse:
             maintain_batched=self._maintain_batched,
             maintain_sequential=self._maintain_sequential,
         )
+        cover = {
+            "patched": self._cover_index_patched,
+            "rebuilt": self._cover_index_rebuilt,
+            "evictions": self._cover_index_evictions,
+        }
+        if self._cover_index is not None:
+            cover.update(self._cover_index.stats())
+        tree_stats["cover_index"] = cover
         if self._cache is not None:
             tree_stats["query_cache"] = self._cache.stats()
         if self.last_refreeze is not None:

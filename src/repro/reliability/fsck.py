@@ -214,17 +214,24 @@ def _check_classes(tree: QCTree, live: set, report: FsckReport) -> list:
 
 def _check_aggregates(tree: QCTree, table, class_nodes: list,
                       samples: Optional[int], seed: int,
-                      report: FsckReport) -> None:
+                      report: FsckReport, cover_index=None) -> None:
     if samples is not None and samples < len(class_nodes):
         rng = random.Random(seed)
         class_nodes = rng.sample(sorted(class_nodes), samples)
-    index = CoverIndex(table)
+    if cover_index is not None and cover_index.n_rows == table.n_rows:
+        # Reuse the caller's long-lived index (the warehouse keeps one
+        # per live table) rather than re-deriving all posting lists; a
+        # row-count mismatch means it is stale, so fall back to a fresh
+        # build — a verifier must not trust a suspect structure.
+        index = cover_index
+    else:
+        index = CoverIndex(table)
     agg = tree.aggregate
     checked = 0
     for node in class_nodes:
         ub = tree.upper_bound_of(node)
         checked += 1
-        rows = index.rows(ub)
+        rows = index.positions(ub)
         if not rows:
             report.add("aggregate-empty-cover",
                        f"class bound {format_cell(ub)} covers no base "
@@ -251,12 +258,15 @@ def _check_aggregates(tree: QCTree, table, class_nodes: list,
 
 
 def fsck_tree(tree: QCTree, table=None, samples: Optional[int] = 64,
-              seed: int = 0) -> FsckReport:
+              seed: int = 0, cover_index=None) -> FsckReport:
     """Verify ``tree``; returns a :class:`FsckReport` (never raises on
     corruption).
 
     ``table`` enables the aggregate re-derivation pass; ``samples``
     bounds how many classes that pass recomputes (None = all).
+    ``cover_index``, when given and in sync with ``table`` (same row
+    count), is reused for that pass instead of building the posting
+    lists from scratch.
     """
     report = FsckReport()
     try:
@@ -277,7 +287,7 @@ def fsck_tree(tree: QCTree, table=None, samples: Optional[int] = 64,
                            f"tree has {tree.n_dims}")
             else:
                 _check_aggregates(tree, table, class_nodes, samples, seed,
-                                  report)
+                                  report, cover_index=cover_index)
     except Exception as exc:
         # A verifier must survive arbitrary corruption; anything the
         # targeted checks did not anticipate becomes a finding.

@@ -23,8 +23,9 @@ exactly one shared mutable reference:
   hottest keys against the new snapshot, so readers do not all pay the
   post-publication cold-miss storm.  Write latency is reported per
   phase (``maintain`` — with ``maintain_partition`` /
-  ``maintain_merge`` sub-phases from the batched engine — then
-  ``refreeze`` / ``publish`` / ``warm``) in :meth:`QCServer.stats`.
+  ``maintain_merge`` / ``maintain_index`` sub-phases from the batched
+  engine — then ``refreeze`` / ``publish`` / ``warm``) in
+  :meth:`QCServer.stats`.
 
 **Fault tolerance** treats node-level failure as routine, the way
 realtime OLAP serving stacks do:
@@ -709,13 +710,25 @@ class QCServer:
         maintenance = warehouse.last_maintenance
         if maintenance is not None:
             # The batched engine's sub-phases: Δ-partition + classification
-            # vs link derivation + structural apply.
+            # vs link derivation + structural apply vs cover-index upkeep
+            # (incremental patch, or a full rebuild when no persistent
+            # index was available).
             metrics.observe(
                 "write_phase:maintain_partition", maintenance["partition_s"]
             )
             metrics.observe(
                 "write_phase:maintain_merge", maintenance["merge_s"]
             )
+            metrics.observe(
+                "write_phase:maintain_index",
+                maintenance.get("index_s", 0.0),
+            )
+            index_mode = maintenance.get("cover_index")
+            if index_mode is not None:
+                metrics.counter(f"cover_index_{index_mode}").inc()
+            evicted = maintenance.get("index_evictions", 0)
+            if evicted:
+                metrics.counter("cover_index_evictions").inc(evicted)
         metrics.observe("write_phase:refreeze", t2 - t1)
         metrics.observe("write_phase:publish", t3 - t2)
         metrics.observe("write_phase:warm", t4 - t3)
