@@ -1,0 +1,275 @@
+"""Segmented vs monolithic ingest: write latency at Figure-14 scale.
+
+Not a paper figure: this benchmark validates the segmented-ingest
+subsystem's headline claim — *write latency bounded by head size, not
+cube size*.  On the Figure-14 synthetic setup (20000 rows, 6 dims,
+cardinality 30, Zipf factor 2), the same insert stream is driven
+through:
+
+* **monolithic** — one :class:`~repro.core.warehouse.QCWarehouse`:
+  every batch maintains the full-cube tree and patches (or recompiles)
+  the full-cube frozen serving view before the write is visible;
+* **segmented** — a :class:`~repro.segments.SegmentedWarehouse`:
+  batches maintain a head of at most ``seal_rows`` rows; seals hand the
+  head off wholesale (the frozen-view compile happens off the write
+  path) and queries scatter-gather across segments.
+
+Per-batch visible-write latency (maintain + the first query that forces
+the serving view current) is collected for both and summarized as
+p50/p95/p99/max.  A mixed insert+delete coda then runs through both
+engines and the differential read oracle closes the run: point, range
+and iceberg answers must match cell-for-cell after seals, deletes and a
+forced compaction.
+
+Results go to ``BENCH_segments.json`` at the repo root (committed,
+diffable PR over PR) and a table under ``benchmarks/results/``.  The
+acceptance bar at full scale is segmented write p99 at least
+``min_p99_speedup``× better than monolithic; ``--quick`` (or
+``REPRO_BENCH_QUICK=1``) scales down for CI smoke runs but still
+enforces segmented p99 < monolithic p99 as a regression guard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import time
+
+from common import print_table
+from repro.core.warehouse import QCWarehouse
+from repro.cube.aggregates import values_close
+from repro.data.synthetic import zipf_table
+from repro.segments import SegmentedWarehouse
+
+OUT_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_segments.json"
+)
+
+FULL = dict(n_rows=20000, n_dims=6, card=30, batch_size=32, n_batches=60,
+            seal_rows=2048, mixed_batches=6, deletes_per_batch=8,
+            query_samples=200, min_p99_speedup=1.5)
+QUICK = dict(n_rows=1500, n_dims=5, card=20, batch_size=16, n_batches=20,
+             seal_rows=256, mixed_batches=3, deletes_per_batch=4,
+             query_samples=60, min_p99_speedup=1.0)
+
+
+def _quick_from_env() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def _percentile(samples, q) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    at = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[at]
+
+
+def _summary(samples) -> dict:
+    return {
+        "batches": len(samples),
+        "p50_ms": round(_percentile(samples, 0.50) * 1e3, 4),
+        "p95_ms": round(_percentile(samples, 0.95) * 1e3, 4),
+        "p99_ms": round(_percentile(samples, 0.99) * 1e3, 4),
+        "max_ms": round(max(samples) * 1e3, 4),
+        "total_s": round(sum(samples), 4),
+    }
+
+
+def _insert_records(table, config, count, seed):
+    """In-domain raw insert records (shared label universe, so both
+    engines answer over identical decoded cells)."""
+    rng = random.Random(seed)
+    records = []
+    for _ in range(count):
+        cell = tuple(
+            rng.randrange(config["card"]) for _ in range(config["n_dims"])
+        )
+        records.append(table.decode_cell(cell) + (1.0,))
+    return records
+
+
+def _probe_cells(table, config, seed):
+    """Query cells biased toward populated covers."""
+    rng = random.Random(seed)
+    cells = set()
+    while len(cells) < config["query_samples"]:
+        row = table.rows[rng.randrange(table.n_rows)]
+        cells.add(tuple(
+            table.decode_value(j, v) if rng.random() < 0.5 else "*"
+            for j, v in enumerate(row)
+        ))
+    return sorted(cells, key=repr)
+
+
+def _drive(warehouse, plan, probe) -> list:
+    """Visible-write latency per batch: maintain + the query that forces
+    the serving view to include the write."""
+    samples = []
+    for i, inserts in enumerate(plan):
+        t0 = time.perf_counter()
+        warehouse.maintain(inserts=inserts)
+        warehouse.point(probe[i % len(probe)])
+        samples.append(time.perf_counter() - t0)
+    return samples
+
+
+def _read_oracle(mono, seg, probe, config) -> bool:
+    for cell in probe:
+        a, b = mono.point(cell), seg.point(cell)
+        if a is None or b is None:
+            if a is not b:
+                return False
+        elif not values_close(a, b):
+            return False
+    rng = random.Random(11)
+    for _ in range(5):
+        spec = tuple(
+            "*" if rng.random() < 0.5
+            else [mono.table.decode_value(j, rng.randrange(config["card"]))
+                  for _ in range(2)]
+            for j in range(config["n_dims"])
+        )
+        ra, rb = mono.range(spec), seg.range(spec)
+        if set(ra) != set(rb) or not all(
+            values_close(ra[k], rb[k]) for k in ra
+        ):
+            return False
+    for threshold in (2.0, 8.0):
+        ia = sorted(mono.iceberg(threshold), key=repr)
+        ib = sorted(seg.iceberg(threshold), key=repr)
+        if [c for c, _ in ia] != [c for c, _ in ib] or not all(
+            values_close(x, y) for (_, x), (_, y) in zip(ia, ib)
+        ):
+            return False
+    return True
+
+
+def measure(config) -> dict:
+    base_table = zipf_table(config["n_rows"], config["n_dims"],
+                            config["card"], seed=0)
+    aggregate = ("sum", 0)
+
+    t0 = time.perf_counter()
+    mono = QCWarehouse(base_table, aggregate, cache_size=0)
+    mono.serving_tree  # compile the frozen view up front for both
+    mono_build_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    seg = SegmentedWarehouse(
+        base_table, aggregate, cache_size=0,
+        seal_rows=config["seal_rows"],
+    )
+    seg.view  # publish the initial scatter view
+    seg_build_s = time.perf_counter() - t0
+
+    probe = _probe_cells(base_table, config, seed=2)
+    n_ins = config["batch_size"]
+    plan = [
+        _insert_records(base_table, config, n_ins, seed=500 + i)
+        for i in range(config["n_batches"])
+    ]
+
+    mono_samples = _drive(mono, plan, probe)
+    seg_samples = _drive(seg, plan, probe)
+
+    # Mixed coda: deletes routed across sealed segments + fresh inserts,
+    # then a forced compaction — the read oracle must still close.
+    rng = random.Random(9)
+    for i in range(config["mixed_batches"]):
+        picks = rng.sample(range(mono.table.n_rows),
+                           config["deletes_per_batch"])
+        deletes = [
+            mono.table.decode_cell(mono.table.rows[k])
+            + tuple(mono.table.measures[k])
+            for k in picks
+        ]
+        inserts = _insert_records(base_table, config, n_ins // 2,
+                                  seed=900 + i)
+        mono.maintain(inserts=inserts, deletes=deletes)
+        seg.maintain(inserts=inserts, deletes=deletes)
+    compactions = seg.compact_now()
+    oracle_reads = _read_oracle(mono, seg, probe, config)
+    assert seg.n_rows == mono.table.n_rows
+
+    mono_stats, seg_stats = _summary(mono_samples), _summary(seg_samples)
+    p99_speedup = (
+        mono_stats["p99_ms"] / seg_stats["p99_ms"]
+        if seg_stats["p99_ms"] else 0.0
+    )
+    health = seg.segment_health()
+    return {
+        "config": dict(config),
+        "monolithic": dict(mono_stats, build_s=round(mono_build_s, 4)),
+        "segmented": dict(
+            seg_stats, build_s=round(seg_build_s, 4),
+            seals=health["seals"], segments_live=health["segments_live"],
+            compactions_forced=compactions,
+        ),
+        "speedups": {
+            "write_p50": round(
+                mono_stats["p50_ms"] / seg_stats["p50_ms"], 3)
+            if seg_stats["p50_ms"] else 0.0,
+            "write_p99": round(p99_speedup, 3),
+        },
+        "acceptance": {
+            "min_p99_speedup": config["min_p99_speedup"],
+            "write_p99_speedup": round(p99_speedup, 3),
+            "oracle_reads": oracle_reads,
+        },
+    }
+
+
+def report(results, out_path=OUT_PATH) -> None:
+    with open(out_path, "w") as fp:
+        json.dump(results, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    mono, seg = results["monolithic"], results["segmented"]
+    rows = [
+        ["monolithic", mono["p50_ms"], mono["p99_ms"], mono["max_ms"], ""],
+        ["segmented", seg["p50_ms"], seg["p99_ms"], seg["max_ms"],
+         f"seals={seg['seals']} live={seg['segments_live']}"],
+        ["speedup", results["speedups"]["write_p50"],
+         results["speedups"]["write_p99"], "",
+         f"oracle={results['acceptance']['oracle_reads']}"],
+    ]
+    print_table(
+        "Segmented vs monolithic visible-write latency (ms/batch)",
+        ["engine", "p50 ms", "p99 ms", "max ms", "notes"],
+        rows,
+        result_file="segments.txt",
+    )
+
+
+def test_segments_report(benchmark):
+    config = QUICK if _quick_from_env() else FULL
+    results = benchmark.pedantic(measure, args=(config,),
+                                 rounds=1, iterations=1)
+    report(results)
+    acceptance = results["acceptance"]
+    # The read oracle must close the run: scatter-gather answers match
+    # the monolithic cube after seals, deletes and compaction.
+    assert acceptance["oracle_reads"], results
+    # Regression guard: segmented visible-write p99 beats monolithic,
+    # by >= min_p99_speedup at full scale.
+    assert results["segmented"]["p99_ms"] < results["monolithic"]["p99_ms"], \
+        results
+    assert acceptance["write_p99_speedup"] >= acceptance["min_p99_speedup"], \
+        acceptance
+
+
+def main(argv=None) -> int:
+    quick = _quick_from_env() or (argv is not None and "--quick" in argv) \
+        or "--quick" in sys.argv[1:]
+    results = measure(QUICK if quick else FULL)
+    report(results)
+    acceptance = results["acceptance"]
+    assert acceptance["oracle_reads"], "read oracle failed"
+    print(f"wrote {os.path.abspath(OUT_PATH)} "
+          f"(write p99 speedup={acceptance['write_p99_speedup']}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,16 +66,46 @@ def _schema_from_args(args) -> Schema:
     )
 
 
-def _load_warehouse(args) -> QCWarehouse:
+def _load_warehouse(args):
     tree = load_qctree_from(args.tree)
     schema = Schema(dimensions=tree.dim_names, measures=args_measures(args))
     table = BaseTable.from_csv(args.table, schema)
+    if getattr(args, "segmented", False):
+        # Segmented ingest: the snapshot's table seeds the store (a
+        # bootstrap bigger than --seal-rows seals immediately) and the
+        # background compactor starts right away; the .qct tree is used
+        # for its schema + aggregate spec.
+        from repro.segments import SegmentedWarehouse
+
+        warehouse = SegmentedWarehouse(
+            table, aggregate=tree.aggregate,
+            full_refreeze_ratio=getattr(args, "refreeze_ratio", 0.25),
+            seal_rows=getattr(args, "seal_rows", 2048),
+        )
+        warehouse.start_compactor()
+        return warehouse
     serve_frozen = getattr(args, "engine", "frozen") != "dict"
     return QCWarehouse(
         table, aggregate=tree.aggregate, tree=tree,
         serve_frozen=serve_frozen,
         full_refreeze_ratio=getattr(args, "refreeze_ratio", 0.25),
     )
+
+
+def _workload_table(warehouse) -> BaseTable:
+    """A populated table to draw workload cells/records from.
+
+    ``warehouse.table`` is the whole base table for a monolithic store,
+    but only the mutable *head* for a segmented one — empty right after
+    the bootstrap seal — so fall back to the oldest populated segment.
+    """
+    table = warehouse.table
+    if table.n_rows:
+        return table
+    for segment in getattr(warehouse, "_segments", []):
+        if segment.table.n_rows:
+            return segment.table
+    return table
 
 
 def args_measures(args):
@@ -250,14 +280,24 @@ def cmd_serve(args) -> int:
     from repro.serving.server import QCServer
 
     warehouse = _load_warehouse(args)
-    server = QCServer(
-        warehouse, workers=args.workers, queue_size=args.queue_size,
-        default_timeout=args.timeout, cache_size=args.cache_size,
-        warm_keys=args.warm_keys,
-    )
+    try:
+        server = QCServer(
+            warehouse, workers=args.workers, queue_size=args.queue_size,
+            default_timeout=args.timeout, cache_size=args.cache_size,
+            warm_keys=args.warm_keys,
+        )
+    except BaseException:
+        # A stranded segment compactor (non-daemon) would hang exit.
+        getattr(warehouse, "close", lambda: None)()
+        raise
     stats = warehouse.stats()
+    detail = (
+        f"{stats['segments_live']} segments"
+        if stats.get("serving") == "segmented"
+        else f"{stats['classes']} classes"
+    )
     print(
-        f"serving {args.tree}: {stats['classes']} classes, "
+        f"serving {args.tree}: {detail}, "
         f"{args.workers} workers, queue {args.queue_size} "
         f"(point/range/iceberg/rollup/…; 'quit' to stop)",
         file=sys.stderr,
@@ -292,12 +332,19 @@ def cmd_bench_serve(args) -> int:
     )
 
     warehouse = _load_warehouse(args)
-    requests = point_requests(warehouse.table, args.requests, seed=7)
-    faults = ServingFaults() if args.chaos else None
-    with QCServer(warehouse, workers=args.workers,
-                  queue_size=args.queue_size,
-                  default_timeout=args.timeout,
-                  warm_keys=args.warm_keys, faults=faults) as server:
+    try:
+        sample_table = _workload_table(warehouse)
+        requests = point_requests(sample_table, args.requests, seed=7)
+        faults = ServingFaults() if args.chaos else None
+        server = QCServer(warehouse, workers=args.workers,
+                          queue_size=args.queue_size,
+                          default_timeout=args.timeout,
+                          warm_keys=args.warm_keys, faults=faults)
+    except BaseException:
+        # A stranded segment compactor (non-daemon) would hang exit.
+        getattr(warehouse, "close", lambda: None)()
+        raise
+    with server:
         if args.chaos and not args.stall_us:
             # Stretch the run so the injection stream actually lands;
             # an unstalled in-memory workload outruns the monkey.
@@ -309,7 +356,7 @@ def cmd_bench_serve(args) -> int:
             # Mixed read/write workload under seeded fault injection:
             # retrying clients against killed workers, crashed write
             # phases, and injected op errors/stalls.
-            record = next(warehouse.table.iter_records())
+            record = next(sample_table.iter_records())
             batches = [("insert", [record]), ("delete", [record])]
             retry = RetryPolicy()
             ops = ("point_stall",) if args.stall_us else ("point",)
@@ -327,7 +374,7 @@ def cmd_bench_serve(args) -> int:
             result = run_open_loop(server, requests, args.rate,
                                    timeout=args.timeout)
         elif args.writes:
-            record = next(warehouse.table.iter_records())
+            record = next(sample_table.iter_records())
             batches = [("insert", [record]), ("delete", [record])]
             result = run_mixed(server, requests, clients=args.clients,
                                write_batches=batches * args.writes,
@@ -430,6 +477,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "the frozen view instead of patching it "
                             "(default 0.25; 0 always recompiles, 1 always "
                             "patches)")
+        p.add_argument("--segmented", action="store_true",
+                       help="serve from a SegmentedWarehouse: writes land "
+                            "in a small head that seals into immutable "
+                            "segments, queries scatter-gather, a background "
+                            "compactor merges segments (write latency "
+                            "bounded by head size, not cube size)")
+        p.add_argument("--seal-rows", type=int, default=2048,
+                       help="head rows at which a segmented warehouse "
+                            "seals the head into a segment (default 2048; "
+                            "only with --segmented)")
         return p
 
     p_serve = with_server(sub.add_parser(

@@ -79,7 +79,7 @@ def _state_from_json(state):
     return state
 
 
-def _document_of(tree: QCTree, meta=None) -> dict:
+def _document_of(tree: QCTree, meta=None, labels=None) -> dict:
     order = list(tree.iter_nodes())
     remap = {node: i for i, node in enumerate(order)}
     nodes = []
@@ -105,10 +105,20 @@ def _document_of(tree: QCTree, meta=None) -> dict:
     }
     if meta:
         document["meta"] = dict(meta)
+    if labels is not None:
+        # The per-dimension label dictionaries (label lists in code
+        # order) of the base table this tree was built against.  The
+        # tree stores encoded label *codes*; a table CSV round-trip
+        # re-mints codes in globally sorted order, which diverges from
+        # a table grown batch-by-batch (fresh labels get appended
+        # codes).  Persisting the dictionaries lets the loader re-encode
+        # the table to the tree's codes instead of silently mispairing
+        # them.
+        document["labels"] = [list(d) for d in labels]
     return document
 
 
-def dump_qctree(tree: QCTree, fp, meta=None) -> None:
+def dump_qctree(tree: QCTree, fp, meta=None, labels=None) -> None:
     """Write ``tree`` to a text file object in the ``QCTREE/2`` format.
 
     ``meta`` (an optional JSON-safe dict) rides along inside the
@@ -120,7 +130,7 @@ def dump_qctree(tree: QCTree, fp, meta=None) -> None:
     ``fp.write`` so the payload the checksum covers is exactly the bytes
     that hit the stream.
     """
-    document = _document_of(tree, meta=meta)
+    document = _document_of(tree, meta=meta, labels=labels)
     payload = json.dumps(document)
     crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
     header = (
@@ -163,6 +173,8 @@ def _tree_from_document(document) -> QCTree:
         raise SerializationError(f"corrupt QC-tree payload: {exc}") from exc
     meta = document.get("meta", {})
     tree.snapshot_meta = meta if isinstance(meta, dict) else {}
+    labels = document.get("labels")
+    tree.snapshot_labels = labels if isinstance(labels, list) else None
     return tree
 
 
@@ -239,7 +251,7 @@ def load_qctree(fp, freeze: bool = False):
     )
 
 
-def save_qctree(tree: QCTree, path, meta=None) -> None:
+def save_qctree(tree: QCTree, path, meta=None, labels=None) -> None:
     """Write ``tree`` to ``path`` atomically.
 
     The snapshot goes to a sibling temp file which is flushed, fsynced,
@@ -252,7 +264,7 @@ def save_qctree(tree: QCTree, path, meta=None) -> None:
     tmp_path = f"{path}.tmp.{os.getpid()}"
     try:
         with open(tmp_path, "w") as fp:
-            dump_qctree(tree, fp, meta=meta)
+            dump_qctree(tree, fp, meta=meta, labels=labels)
             fp.flush()
             os.fsync(fp.fileno())
         os.replace(tmp_path, path)

@@ -507,7 +507,12 @@ class QCWarehouse:
             comment = f"wal_lsn={lsn}" if lsn is not None else None
             self.table.to_csv(table_path, comment=comment)
         meta = {"wal_lsn": lsn} if lsn is not None else None
-        save_qctree(self.tree, tree_path, meta=meta)
+        # The label dictionaries ride along: the tree stores encoded
+        # codes, and a CSV round-trip would otherwise re-mint them in
+        # sorted order — silently mispairing tree and table whenever
+        # maintenance appended labels out of sorted order.
+        save_qctree(self.tree, tree_path, meta=meta,
+                    labels=self.table._decoders)
 
     @classmethod
     def load(cls, tree_path, table_path, schema: Schema,
@@ -520,10 +525,22 @@ class QCWarehouse:
         """
         tree = load_qctree_from(tree_path)
         table = BaseTable.from_csv(table_path, schema)
-        wh = cls(table, aggregate=tree.aggregate, tree=tree,
+        aggregate = tree.aggregate
+        labels = getattr(tree, "snapshot_labels", None)
+        if labels is not None:
+            try:
+                # Align the CSV table's codes with the codes the tree
+                # was saved under (see :meth:`save`).
+                table = table.with_label_dictionaries(labels)
+            except SchemaError:
+                # The pair is inconsistent (e.g. a table replaced after
+                # the tree was written): the table is authoritative, so
+                # rebuild the tree from it.
+                tree = None
+        wh = cls(table, aggregate=aggregate, tree=tree,
                  index_key=index_key)
         if freeze:
-            wh._frozen = tree.freeze()
+            wh._frozen = wh.tree.freeze()
         return wh
 
     # -- durability ------------------------------------------------------------

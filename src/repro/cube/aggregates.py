@@ -179,6 +179,41 @@ class Average(_MeasureAggregate):
         return total / count if count else math.nan
 
 
+class Variance(_MeasureAggregate):
+    """VAR(measure) — population variance; state is ``(count, sum, sumsq)``.
+
+    The naive "running variance" (mean + M2 updated row by row) is not
+    associative, which breaks scatter-gather merging across segments.
+    The moment form is: counts, sums and sums of squares add, so
+    ``merge`` is associative/commutative and ``subtract`` exact.
+    """
+
+    _tag = "var"
+    subtractable = True
+
+    def state(self, table, rows):
+        column = self._column(table)
+        values = [float(column[i]) for i in rows]
+        return (len(values), sum(values), sum(v * v for v in values))
+
+    def merge(self, a, b):
+        return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+    def subtract(self, total, part):
+        count = total[0] - part[0]
+        if count < 0:
+            raise MaintenanceError("var count underflow during deletion")
+        return (count, total[1] - part[1], total[2] - part[2])
+
+    def value(self, state):
+        count, total, sumsq = state
+        if not count:
+            return math.nan
+        mean = total / count
+        # Moments can go a hair negative under float cancellation.
+        return max(0.0, sumsq / count - mean * mean)
+
+
 class MultiAggregate(AggregateFunction):
     """Several aggregates evaluated together; state/value are tuples."""
 
@@ -206,7 +241,8 @@ class MultiAggregate(AggregateFunction):
 
 _SIMPLE = {"count": Count}
 _MEASURED = {"sum": Sum, "min": Min, "max": Max, "avg": Average,
-             "average": Average, "mean": Average}
+             "average": Average, "mean": Average, "var": Variance,
+             "variance": Variance}
 
 
 def make_aggregate(spec) -> AggregateFunction:

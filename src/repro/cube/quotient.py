@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.cells import (
+    ALL,
     Cell,
     dict_sort_key,
     generalizes,
@@ -166,8 +167,6 @@ def class_lower_bounds(table: BaseTable, upper_bound: Cell) -> list:
     hitting sets* of the family ``{ D_t : t outside cov(ub) }`` with
     ``D_t = { j : ub[j] != * and ub[j] != t[j] }``.
     """
-    from repro.core.cells import ALL
-
     inside = set(table.select(upper_bound))
     difference_sets = set()
     for i, row in enumerate(table.rows):
@@ -179,6 +178,20 @@ def class_lower_bounds(table: BaseTable, upper_bound: Cell) -> list:
             if v is not ALL and v != row[j]
         )
         difference_sets.add(diff)
+    return lower_bounds_from_difference_sets(upper_bound, difference_sets)
+
+
+def lower_bounds_from_difference_sets(upper_bound: Cell,
+                                      difference_sets) -> list:
+    """Lower bounds of ``upper_bound``'s class from its difference sets.
+
+    ``difference_sets`` is the family ``{ D_t : t outside cov(ub) }``
+    described in :func:`class_lower_bounds`.  Split out so callers that
+    derive the family differently (e.g. a segmented store unioning
+    per-segment difference sets, where no single base table exists) share
+    the hitting-set machinery.
+    """
+    difference_sets = set(difference_sets)
     # Keep only the inclusion-minimal difference sets; hitting them hits all.
     family = [
         s

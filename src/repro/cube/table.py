@@ -273,6 +273,40 @@ class BaseTable:
             self._encoders,
         )
 
+    def with_label_dictionaries(self, decoders) -> "BaseTable":
+        """Re-encode this table's rows under externally supplied
+        per-dimension label dictionaries (label lists in code order).
+
+        Used when a persisted QC-tree dictates the code assignment: a
+        CSV round-trip re-mints codes in globally sorted order, which
+        diverges from a table grown batch-by-batch (fresh labels get
+        *appended* codes).  Raises :class:`SchemaError` when a row label
+        is missing from the supplied dictionaries — the caller should
+        treat the pairing as inconsistent and rebuild.
+        """
+        if len(decoders) != self.n_dims:
+            raise SchemaError(
+                f"{len(decoders)} label dictionaries supplied, table has "
+                f"{self.n_dims} dimensions"
+            )
+        decoders = [list(d) for d in decoders]
+        encoders = [
+            {label: code for code, label in enumerate(d)} for d in decoders
+        ]
+        rows = []
+        for row in self.rows:
+            try:
+                rows.append(tuple(
+                    encoders[j][self.decode_value(j, row[j])]
+                    for j in range(self.n_dims)
+                ))
+            except KeyError as exc:
+                raise SchemaError(
+                    f"label {exc.args[0]!r} is not present in the "
+                    f"supplied dictionary"
+                ) from exc
+        return BaseTable(self.schema, rows, self.measures, decoders, encoders)
+
     def projected(self, dims) -> "BaseTable":
         """Return a table restricted to the listed dimensions (re-encoded)."""
         indices = [

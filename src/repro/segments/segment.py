@@ -1,0 +1,208 @@
+"""One sealed segment: an immutable (tree, table) pair with a frozen view.
+
+A :class:`Segment` is created by sealing the warehouse head or by
+compacting two neighbours, and after publication it never changes —
+deletes targeting its rows produce a *replacement* segment via
+:meth:`Segment.rewrite_without` and an atomic manifest swap, so readers
+holding the old object keep a consistent view.
+
+The dict tree is retained alongside the frozen view: it is what the
+Algorithms 5–7 batch path runs against when the segment is rewritten
+(deletes) or used as the base of a compaction, keeping both operations
+proportional to segment size.  The frozen view itself is finalized
+lazily (sealing hands over whatever frozen view + pending delta the head
+had, off the write path) and memoized.
+
+On disk a segment is the checksummed ``QCTREE/2`` snapshot plus the
+table CSV; see :mod:`repro.segments.manifest` for the directory layout.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import Counter
+from typing import Optional
+
+from repro.core.maintenance import maintain_batch
+from repro.core.serialize import load_qctree_from, save_qctree
+from repro.cube.table import BaseTable
+from repro.segments.scatter import Piece
+
+_ids = itertools.count(1)
+
+
+def next_segment_id() -> int:
+    """Process-wide unique segment ids (uniqueness within a warehouse is
+    what matters; the manifest renumbers nothing)."""
+    return next(_ids)
+
+
+def bump_segment_ids(floor: int) -> None:
+    """Ensure freshly minted ids exceed ``floor`` (called after loading a
+    manifest so new segments never collide with persisted ones)."""
+    global _ids
+    current = next(_ids)
+    _ids = itertools.count(max(current, floor + 1))
+
+
+class Segment:
+    """An immutable sealed segment (see module docstring)."""
+
+    __slots__ = ("segment_id", "tree", "table", "_frozen", "_pending_delta",
+                 "_lock", "_row_counts")
+
+    def __init__(self, segment_id: int, tree, table: BaseTable,
+                 frozen=None, pending_delta=None):
+        self.segment_id = segment_id
+        self.tree = tree
+        self.table = table
+        self._frozen = frozen
+        self._pending_delta = pending_delta
+        self._lock = threading.Lock()
+        self._row_counts: Optional[Counter] = None
+
+    # -- read view -----------------------------------------------------------
+
+    def view(self):
+        """The frozen serving view, finalized on first use.
+
+        Sealing hands the head's current frozen view and any
+        not-yet-patched delta straight to the segment, so the expensive
+        compile/patch happens here — off the write path — at most once.
+        """
+        frozen = self._frozen
+        if frozen is not None and self._pending_delta is None:
+            return frozen
+        with self._lock:
+            if self._frozen is None:
+                self._frozen = self.tree.freeze()
+            elif self._pending_delta is not None:
+                self._frozen = self._frozen.patch(self._pending_delta)
+            self._pending_delta = None
+            return self._frozen
+
+    def piece(self) -> Piece:
+        return Piece(self.view(), self.table)
+
+    @property
+    def n_rows(self) -> int:
+        return self.table.n_rows
+
+    @property
+    def frozen_ready(self) -> bool:
+        """True when the serving view needs no further compile/patch work."""
+        return self._frozen is not None and self._pending_delta is None
+
+    def row_counts(self) -> Counter:
+        """``Counter`` of encoded dimension tuples, for delete routing.
+
+        Built once per (immutable) segment; lets a delete batch count its
+        matches here in O(records) instead of O(segment rows).
+        """
+        counts = self._row_counts
+        if counts is None:
+            with self._lock:
+                counts = self._row_counts
+                if counts is None:
+                    counts = Counter(self.table.rows)
+                    self._row_counts = counts
+        return counts
+
+    # -- mutation-by-replacement ----------------------------------------------
+
+    def rewrite_without(self, delete_records) -> "Segment":
+        """A new segment equal to this one minus ``delete_records``.
+
+        ``delete_records`` are raw dimension tuples matched the way
+        :func:`~repro.core.maintenance.delete.resolve_deletions` matches —
+        earliest rows first, measures ignored.  This segment is not
+        touched: the batch runs on a *copy* of the dict tree and the
+        frozen view is patched copy-on-write, so concurrent readers and
+        failed batches both see the original.
+        """
+        tree = self.tree.copy()
+        result = maintain_batch(tree, self.table, deletes=delete_records)
+        frozen = None
+        if self.frozen_ready:
+            frozen = self._frozen.patch(result.delta)
+        return Segment(next_segment_id(), tree, result.table, frozen=frozen)
+
+    # -- persistence -----------------------------------------------------------
+
+    def file_names(self) -> tuple:
+        """(tree filename, table filename) inside a checkpoint directory."""
+        return (
+            f"segment-{self.segment_id:08d}.qct",
+            f"segment-{self.segment_id:08d}.csv",
+        )
+
+    def save(self, directory, lsn=None) -> tuple:
+        """Write the ``QCTREE/2`` snapshot + CSV; returns the file names.
+
+        Segment files are immutable like the segment: a checkpoint skips
+        files that already exist (same id ⇒ same content).
+        """
+        import os
+
+        tree_name, table_name = self.file_names()
+        tree_path = os.path.join(directory, tree_name)
+        table_path = os.path.join(directory, table_name)
+        comment = f"wal_lsn={lsn}" if lsn is not None else None
+        if not os.path.exists(table_path):
+            self.table.to_csv(table_path, comment=comment)
+        if not os.path.exists(tree_path):
+            meta = {"segment_id": self.segment_id, "rows": self.n_rows}
+            if lsn is not None:
+                meta["wal_lsn"] = lsn
+            # Label dictionaries ride along so the loader can re-encode
+            # the CSV table to the tree's codes (a fresh CSV parse mints
+            # codes in sorted order, which diverges from a head grown
+            # batch-by-batch).
+            save_qctree(self.tree, tree_path, meta=meta,
+                        labels=self.table._decoders)
+        return tree_name, table_name
+
+    @classmethod
+    def load(cls, directory, entry: dict, schema, aggregate) -> "Segment":
+        """Restore a segment from a manifest entry.
+
+        A corrupt or missing tree snapshot is rebuilt from the CSV (the
+        CSV is written first at checkpoint time, so it is at least as
+        fresh); a missing CSV is unrecoverable and the
+        :class:`~repro.errors.SerializationError` /
+        ``FileNotFoundError`` propagates to the caller.
+        """
+        import os
+
+        from repro.core.construct import build_qctree
+        from repro.errors import SchemaError, SerializationError
+
+        table = BaseTable.from_csv(
+            os.path.join(directory, entry["table"]), schema
+        )
+        tree = None
+        try:
+            tree = load_qctree_from(os.path.join(directory, entry["tree"]))
+        except (SerializationError, FileNotFoundError, OSError):
+            tree = None
+        if tree is not None:
+            labels = getattr(tree, "snapshot_labels", None)
+            if labels is None:
+                tree = None
+            else:
+                try:
+                    # Align the CSV's freshly minted codes with the
+                    # codes the tree was saved under.
+                    table = table.with_label_dictionaries(labels)
+                except SchemaError:
+                    tree = None
+        if tree is None:
+            tree = build_qctree(table, aggregate)
+        return cls(int(entry["id"]), tree, table)
+
+    def __repr__(self):
+        return (
+            f"Segment(id={self.segment_id}, rows={self.n_rows}, "
+            f"classes={self.tree.n_classes})"
+        )

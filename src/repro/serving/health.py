@@ -215,7 +215,7 @@ def health_report(server) -> dict:
         status = "degraded"
     else:
         status = "ok"
-    return {
+    report = {
         "status": status,
         "live": live,
         "ready": ready,
@@ -237,3 +237,10 @@ def health_report(server) -> dict:
         "workers": workers,
         "breaker": breaker,
     }
+    # Segmented warehouses expose their lifecycle counters (segment
+    # count, head size, seal/compaction progress and backlog) so
+    # operators can watch ingest health from the same endpoint.
+    segment_health = getattr(warehouse, "segment_health", None)
+    if segment_health is not None:
+        report["segments"] = segment_health()
+    return report

@@ -195,6 +195,17 @@ class QCServer:
         self.warehouse = warehouse
         self.default_timeout = default_timeout
         self.name = name
+        # Warehouses with background phases the server cannot time
+        # itself (a segmented warehouse's seals and compactions) report
+        # them through an observer hook into the same write_phase
+        # histograms the write pipeline uses.
+        set_observer = getattr(warehouse, "set_phase_observer", None)
+        if set_observer is not None:
+            set_observer(
+                lambda phase, seconds: self._metrics.observe(
+                    f"write_phase:{phase}", seconds
+                )
+            )
         self._ops = {op: _snapshot_op(op) for op in SNAPSHOT_OPS}
         self._ops["health"] = lambda snapshot: self.health()
         self._metrics = ServerMetrics()
@@ -897,6 +908,12 @@ class QCServer:
             workers = list(self._workers)
         for thread in workers:
             thread.join(timeout)
+        # Warehouses running background work of their own (a segmented
+        # warehouse's compactor) stop it here, keeping the no-leaked-
+        # threads guarantee.
+        warehouse_close = getattr(self.warehouse, "close", None)
+        if warehouse_close is not None:
+            warehouse_close()
 
     def __enter__(self) -> "QCServer":
         return self
@@ -942,6 +959,9 @@ class QCServer:
         stats["breaker"] = (
             self._breaker.snapshot() if self._breaker is not None else None
         )
+        segment_health = getattr(self.warehouse, "segment_health", None)
+        if segment_health is not None:
+            stats["segments"] = segment_health()
         stats["closed"] = self._closed
         return stats
 

@@ -24,6 +24,12 @@ dict tree: it is served from the snapshot's tree like Algorithms 3/4.
 The only lazily built piece is the :class:`~repro.core.iceberg.
 MeasureIndex`, which is expensive and rarely needed; it is constructed
 on first use under a lock and immutable afterwards.
+
+The segmented store publishes the same surface over *many* (tree,
+table) pairs: :class:`~repro.segments.snapshot.SegmentedSnapshot`
+mirrors this class method-for-method, scatter-gathering across one
+piece per sealed segment plus the head.  The server publishes either
+kind interchangeably.
 """
 
 from __future__ import annotations

@@ -1,0 +1,201 @@
+"""Algebraic laws every aggregate state must obey (satellite of the
+segmented-ingest subsystem).
+
+Scatter-gather answering merges per-segment aggregate states in whatever
+order the segment list happens to have, and compaction re-merges them
+again — so ``merge`` must be a commutative semigroup operation that is
+*exact* against computing the state over the union of the underlying
+rows.  Deletion additionally relies on ``subtract`` being the exact
+inverse of ``merge`` for subtractable aggregates.  These are
+hypothesis-checked here for every aggregate in the registry, including
+:class:`~repro.cube.aggregates.Variance` (whose moment-form state exists
+precisely because the textbook running-variance update is *not*
+associative) and :class:`~repro.cube.aggregates.MultiAggregate`.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cube.aggregates import (
+    Average,
+    Count,
+    Max,
+    Min,
+    MultiAggregate,
+    Sum,
+    Variance,
+    make_aggregate,
+    values_close,
+)
+from repro.cube.schema import Schema
+from repro.cube.table import BaseTable
+
+SCHEMA = Schema(dimensions=("D",), measures=("m",))
+
+#: Every registry aggregate, as (pytest id, factory).  MultiAggregate
+#: combines all of them so its tuple-of-states plumbing is exercised too.
+AGGREGATES = [
+    ("count", lambda: Count()),
+    ("sum", lambda: Sum("m")),
+    ("min", lambda: Min("m")),
+    ("max", lambda: Max("m")),
+    ("avg", lambda: Average("m")),
+    ("var", lambda: Variance("m")),
+    ("multi", lambda: MultiAggregate(
+        [Count(), Sum("m"), Min("m"), Max("m"), Average("m"), Variance("m")]
+    )),
+]
+IDS = [name for name, _ in AGGREGATES]
+FACTORIES = [factory for _, factory in AGGREGATES]
+
+# Bounded, finite measures: the laws hold over the reals; float
+# round-off is absorbed by values_close's relative tolerance as long as
+# magnitudes stay sane.
+measures = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+              allow_infinity=False, width=32),
+    min_size=1, max_size=12,
+)
+
+#: Integer-valued floats: sums and sums-of-squares are exact, so
+#: algebraic inverses can be asserted without float tolerance caveats.
+exact_measures = st.lists(
+    st.integers(min_value=-1000, max_value=1000).map(float),
+    min_size=1, max_size=12,
+)
+
+
+def _table(values):
+    rows = [(0,)] * len(values)
+    return BaseTable.from_encoded(
+        rows, [[v] for v in values], SCHEMA, cardinalities=[1]
+    )
+
+
+def _state(aggregate, values):
+    table = _table(values)
+    return aggregate.state(table, range(len(values)))
+
+
+def states_close(a, b):
+    """States are numbers or (nested) tuples of numbers; compare like
+    values, with tolerance — merge order may legally reassociate sums."""
+    return values_close(a, b, rel_tol=1e-6, abs_tol=1e-6)
+
+
+@pytest.mark.parametrize("factory", FACTORIES, ids=IDS)
+class TestMergeLaws:
+    @given(a=measures, b=measures)
+    def test_commutative(self, factory, a, b):
+        agg = factory()
+        sa, sb = _state(agg, a), _state(agg, b)
+        assert states_close(agg.merge(sa, sb), agg.merge(sb, sa))
+
+    @given(a=measures, b=measures, c=measures)
+    def test_associative(self, factory, a, b, c):
+        agg = factory()
+        sa, sb, sc = _state(agg, a), _state(agg, b), _state(agg, c)
+        left = agg.merge(agg.merge(sa, sb), sc)
+        right = agg.merge(sa, agg.merge(sb, sc))
+        assert states_close(left, right)
+
+    @given(a=measures, b=measures)
+    def test_merge_is_exact_over_union(self, factory, a, b):
+        """merge(state(A), state(B)) == state(A ++ B): the soundness of
+        scatter-gather itself — segments hold disjoint row multisets."""
+        agg = factory()
+        merged = agg.merge(_state(agg, a), _state(agg, b))
+        assert states_close(merged, _state(agg, a + b))
+        assert values_close(
+            agg.value(merged), agg.value(_state(agg, a + b)),
+            rel_tol=1e-6, abs_tol=1e-6,
+        )
+
+    @given(a=exact_measures, b=exact_measures)
+    def test_subtract_inverts_merge(self, factory, a, b):
+        """For subtractable aggregates, subtract(merge(x, y), y) == x —
+        what sealed-segment deletion relies on.  Exact on
+        exactly-representable values; over arbitrary floats the moment
+        form (like any running sum) loses low bits to cancellation,
+        which is tolerated downstream by values_close, not here."""
+        agg = factory()
+        if not agg.subtractable:
+            pytest.skip(f"{agg.name} is not subtractable")
+        sa, sb = _state(agg, a), _state(agg, b)
+        assert states_close(agg.subtract(agg.merge(sa, sb), sb), sa)
+
+
+class TestIdentity:
+    """The empty-row-set state is the merge identity where it exists.
+
+    MIN/MAX have no empty state (``min([])`` has no value), which is
+    exactly why an emptied class leaves the tree rather than lingering
+    as an identity-valued node.
+    """
+
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda: Count(), lambda: Sum("m"), lambda: Average("m"),
+         lambda: Variance("m")],
+        ids=["count", "sum", "avg", "var"],
+    )
+    @given(a=measures)
+    def test_empty_state_is_identity(self, factory, a):
+        agg = factory()
+        empty = agg.state(_table([]), [])
+        sa = _state(agg, a)
+        assert states_close(agg.merge(empty, sa), sa)
+        assert states_close(agg.merge(sa, empty), sa)
+
+    @pytest.mark.parametrize("factory", [lambda: Min("m"), lambda: Max("m")],
+                             ids=["min", "max"])
+    def test_min_max_have_no_empty_state(self, factory):
+        agg = factory()
+        with pytest.raises(ValueError):
+            agg.state(_table([]), [])
+
+
+class TestValues:
+    """States must finalize to the textbook value."""
+
+    @given(a=measures)
+    def test_reference_values(self, a):
+        table = _table(a)
+        rows = range(len(a))
+        assert Count().value(Count().state(table, rows)) == len(a)
+        assert values_close(
+            Sum("m").value(Sum("m").state(table, rows)),
+            math.fsum(a), rel_tol=1e-6, abs_tol=1e-6,
+        )
+        assert Min("m").value(Min("m").state(table, rows)) == min(a)
+        assert Max("m").value(Max("m").state(table, rows)) == max(a)
+        assert values_close(
+            Average("m").value(Average("m").state(table, rows)),
+            statistics.fmean(a), rel_tol=1e-6, abs_tol=1e-6,
+        )
+        assert values_close(
+            Variance("m").value(Variance("m").state(table, rows)),
+            statistics.pvariance(a), rel_tol=1e-6, abs_tol=1e-3,
+        )
+
+    def test_variance_of_empty_and_singleton(self):
+        var = Variance("m")
+        assert math.isnan(var.value((0, 0.0, 0.0)))
+        assert var.value(var.state(_table([3.5]), [0])) == 0.0
+
+    def test_variance_never_negative(self):
+        # Catastrophic cancellation (huge mean, tiny spread) must clamp
+        # to zero, not leak a negative variance.
+        var = Variance("m")
+        values = [1e8 + 0.1, 1e8 + 0.2, 1e8 + 0.3]
+        assert var.value(var.state(_table(values), range(3))) >= 0.0
+
+    def test_registry_spells(self):
+        assert isinstance(make_aggregate("var(m)"), Variance)
+        assert isinstance(make_aggregate(("variance", "m")), Variance)
