@@ -1,0 +1,242 @@
+"""Multi-process serving throughput — ShardServer fleet scaling.
+
+Not a paper figure: this benchmark tracks the GIL-breaking serving
+layer.  ``BENCH_concurrent.json``'s ``cpu`` series shows the thread
+server flat (~one core) no matter the pool size; this benchmark drives
+the *same* Figure-13 synthetic point-query workload through
+:class:`~repro.shard.server.ShardServer.map_query` while sweeping the
+worker-process count, and reports:
+
+* **cpu series** — pure-CPU point queries, no stall, cache off.  Each
+  element travels parent → pipe → worker process → pipe → parent, so
+  with N processes on ≥N cores the aggregate throughput can exceed the
+  one-core ceiling that caps the thread server.  The scaling assertion
+  is honest about hardware: it requires ≥3× at 4 processes only when
+  ≥4 cores are actually available (≥1.5× on 2-3 cores, skipped on 1 —
+  the JSON records ``cpu_count`` so a 1-core result is not mistaken
+  for a regression).
+* **attach** — zero-copy attach latency of a Figure-14-scale packed
+  snapshot (the "instant load" claim): must stay under 10ms.
+* **parity** — a sampled differential check that the fleet's bulk
+  answers equal a single-process :class:`QCServer`'s.
+
+Results go to ``BENCH_multiproc.json`` at the repo root (committed,
+diffable PR over PR) and a table under ``benchmarks/results/``.
+``--quick`` (or ``REPRO_BENCH_QUICK=1``) scales down for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import statistics
+import threading
+import time
+
+from common import print_table, synth
+from repro.core.warehouse import QCWarehouse
+from repro.serving.server import QCServer
+from repro.serving.workload import point_requests
+from repro.shard import (
+    ShardServer,
+    active_segments,
+    attach_packed,
+    created_segments,
+    pack_snapshot_bytes,
+)
+
+OUT_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_multiproc.json"
+)
+
+FULL = dict(n_rows=4000, n_dims=5, card=20, n_requests=4000,
+            processes=(1, 2, 4), batch=64, queue_size=512,
+            attach_rows=20000, attach_dims=6, attach_card=30,
+            attach_reps=20, parity_sample=300)
+QUICK = dict(n_rows=800, n_dims=5, card=20, n_requests=1200,
+             processes=(1, 2, 4), batch=64, queue_size=512,
+             attach_rows=4000, attach_dims=5, attach_card=20,
+             attach_reps=10, parity_sample=120)
+
+
+def _quick_from_env() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _drive_bulk(server, calls, batch: int, drivers: int) -> float:
+    """Push ``calls`` through ``map_query`` from ``drivers`` threads
+    (enough in-flight chunks to keep every worker process busy);
+    returns elapsed seconds."""
+    chunks: queue.SimpleQueue = queue.SimpleQueue()
+    for lo in range(0, len(calls), batch):
+        chunks.put(calls[lo:lo + batch])
+    errors = []
+
+    def run():
+        while True:
+            try:
+                chunk = chunks.get_nowait()
+            except queue.Empty:
+                return
+            try:
+                server.map_query("point", chunk)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+                return
+
+    threads = [threading.Thread(target=run) for _ in range(drivers)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return elapsed
+
+
+def _cpu_series(table, requests, config) -> list:
+    series = []
+    calls = [args for _, args in requests]
+    for nprocs in config["processes"]:
+        warehouse = QCWarehouse(table, aggregate="count", cache_size=0)
+        with ShardServer(warehouse, processes=nprocs, cache_size=0,
+                         queue_size=config["queue_size"]) as server:
+            _drive_bulk(server, calls[:len(calls) // 4],
+                        config["batch"], nprocs)  # warm route caches
+            elapsed = _drive_bulk(server, calls, config["batch"],
+                                  drivers=2 * nprocs)
+            shard = server.shard_health()
+        series.append({
+            "processes": nprocs,
+            "throughput_rps": round(len(calls) / elapsed, 3),
+            "elapsed_s": round(elapsed, 6),
+            "requests": len(calls),
+            "snapshot_bytes": shard["snapshot_bytes"],
+            "answered_by_worker": [
+                w["answered"] for w in shard["workers"]
+            ],
+        })
+    return series
+
+
+def _attach_latency(config) -> dict:
+    """Zero-copy attach of a Figure-14-scale packed snapshot."""
+    table = synth(n_rows=config["attach_rows"],
+                  n_dims=config["attach_dims"], card=config["attach_card"])
+    warehouse = QCWarehouse(table, aggregate="count", cache_size=0)
+    snapshot = warehouse.snapshot_view()
+    t0 = time.perf_counter()
+    payload = pack_snapshot_bytes(snapshot.tree, snapshot.table)
+    pack_s = time.perf_counter() - t0
+    samples = []
+    for _ in range(config["attach_reps"]):
+        t0 = time.perf_counter()
+        attached = attach_packed(payload)
+        samples.append(time.perf_counter() - t0)
+        attached.release()
+    return {
+        "rows": config["attach_rows"],
+        "dims": config["attach_dims"],
+        "snapshot_bytes": len(payload),
+        "pack_ms": round(pack_s * 1e3, 3),
+        "attach_ms_p50": round(statistics.median(samples) * 1e3, 4),
+        "attach_ms_max": round(max(samples) * 1e3, 4),
+    }
+
+
+def _parity(table, requests, config) -> dict:
+    """Sampled differential check: fleet bulk answers ≡ thread server."""
+    sample = [args for _, args in requests[:config["parity_sample"]]]
+    shard = ShardServer(QCWarehouse(table, aggregate="count",
+                                    cache_size=0),
+                        processes=2, cache_size=0)
+    oracle = QCServer(QCWarehouse(table, aggregate="count", cache_size=0),
+                      workers=1, cache_size=0)
+    try:
+        bulk = shard.map_query("point", sample)
+        expected = [oracle.point(*args) for args in sample]
+        mismatches = sum(1 for b, e in zip(bulk, expected) if b != e)
+    finally:
+        shard.close()
+        oracle.close()
+    return {"sampled": len(sample), "mismatches": mismatches}
+
+
+def measure(config) -> dict:
+    table = synth(n_rows=config["n_rows"], n_dims=config["n_dims"],
+                  card=config["card"])
+    requests = point_requests(table, config["n_requests"], seed=7)
+
+    cpu = _cpu_series(table, requests, config)
+    attach = _attach_latency(config)
+    parity = _parity(table, requests, config)
+
+    base = cpu[0]["throughput_rps"]
+    at4 = next((e for e in cpu if e["processes"] == 4), cpu[-1])
+    leaked_threads = [t.name for t in threading.enumerate()
+                      if t.name.startswith("qcserver")]
+    return {
+        "config": dict(config, processes=list(config["processes"])),
+        "cpu_count": _cores(),
+        "cpu": cpu,
+        "scaling_at_4_processes": round(
+            at4["throughput_rps"] / base, 3
+        ) if base else 0.0,
+        "attach": attach,
+        "parity": parity,
+        "leaked_threads": leaked_threads,
+        "leaked_segments": sorted(
+            set(created_segments()) | set(active_segments())
+        ),
+    }
+
+
+def report(results, out_path=OUT_PATH) -> None:
+    with open(out_path, "w") as fp:
+        json.dump(results, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    rows = [
+        ["cpu", entry["processes"], entry["throughput_rps"]]
+        for entry in results["cpu"]
+    ]
+    rows.append(["scaling@4", "-", results["scaling_at_4_processes"]])
+    rows.append(["attach p50 (ms)", "-",
+                 results["attach"]["attach_ms_p50"]])
+    print_table(
+        "Multi-process serving: throughput vs process count",
+        ["series", "processes", "value"],
+        rows,
+        result_file="multiproc_serving.txt",
+    )
+
+
+def test_multiproc_report(benchmark):
+    config = QUICK if _quick_from_env() else FULL
+    results = benchmark.pedantic(measure, args=(config,),
+                                 rounds=1, iterations=1)
+    report(results)
+    # Answer parity between the fleet and the thread server: absolute.
+    assert results["parity"]["mismatches"] == 0
+    # Instant load: zero-copy attach at Figure-14 scale under 10ms.
+    assert results["attach"]["attach_ms_p50"] < 10.0
+    # Fleet scaling, honest about hardware: a 1-core container cannot
+    # show multi-core throughput, so the bar tracks available cores
+    # (the recorded cpu_count keeps the JSON interpretable either way).
+    cores = results["cpu_count"]
+    if cores >= 4 and not _quick_from_env():
+        assert results["scaling_at_4_processes"] >= 3.0, results["cpu"]
+    elif cores >= 2:
+        assert results["scaling_at_4_processes"] >= 1.5, results["cpu"]
+    # Hygiene: no threads, no /dev/shm segments left behind.
+    assert results["leaked_threads"] == []
+    assert results["leaked_segments"] == []

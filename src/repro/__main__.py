@@ -35,6 +35,12 @@ concurrent warehouse::
 staleness, queue depth, worker liveness, degraded state, breaker state)
 — the line a probe or load balancer should poll.
 
+Both ``serve`` and ``bench-serve`` accept ``--processes N`` to serve
+reads from N forked worker processes over one shared-memory packed
+snapshot (:class:`~repro.shard.server.ShardServer`) instead of GIL-bound
+threads; SIGTERM cleanup of ``/dev/shm`` segments is installed
+automatically.
+
 ``bench-serve`` drives a closed-loop (or, with ``--rate``, open-loop)
 point-query workload through the server and prints a JSON report.
 ``--chaos`` runs the same mixed read/write workload under seeded fault
@@ -276,16 +282,38 @@ def _serve_dispatch(server, warehouse, line, out) -> bool:
     return True
 
 
-def cmd_serve(args) -> int:
+def _make_server(warehouse, args, **extra):
+    """Build the server the flags ask for: a thread-pool ``QCServer``,
+    or — with ``--processes N`` — a multi-process ``ShardServer`` over a
+    shared-memory packed snapshot (with SIGTERM segment cleanup so a
+    supervisor kill leaves no ``/dev/shm`` litter)."""
     from repro.serving.server import QCServer
 
+    processes = getattr(args, "processes", 0)
+    if processes:
+        if getattr(args, "segmented", False):
+            raise ReproError(
+                "--processes serves one packed snapshot and cannot "
+                "scatter-gather a --segmented warehouse"
+            )
+        from repro.shard import ShardServer, install_signal_cleanup
+
+        install_signal_cleanup()
+        return ShardServer(
+            warehouse, processes=processes, workers=args.workers,
+            queue_size=args.queue_size, default_timeout=args.timeout,
+            warm_keys=args.warm_keys, **extra,
+        )
+    return QCServer(
+        warehouse, workers=args.workers, queue_size=args.queue_size,
+        default_timeout=args.timeout, warm_keys=args.warm_keys, **extra,
+    )
+
+
+def cmd_serve(args) -> int:
     warehouse = _load_warehouse(args)
     try:
-        server = QCServer(
-            warehouse, workers=args.workers, queue_size=args.queue_size,
-            default_timeout=args.timeout, cache_size=args.cache_size,
-            warm_keys=args.warm_keys,
-        )
+        server = _make_server(warehouse, args, cache_size=args.cache_size)
     except BaseException:
         # A stranded segment compactor (non-daemon) would hang exit.
         getattr(warehouse, "close", lambda: None)()
@@ -296,9 +324,10 @@ def cmd_serve(args) -> int:
         if stats.get("serving") == "segmented"
         else f"{stats['classes']} classes"
     )
+    fleet = (f"{args.processes} processes, " if args.processes else "")
     print(
         f"serving {args.tree}: {detail}, "
-        f"{args.workers} workers, queue {args.queue_size} "
+        f"{fleet}{args.workers} workers, queue {args.queue_size} "
         f"(point/range/iceberg/rollup/…; 'quit' to stop)",
         file=sys.stderr,
     )
@@ -322,7 +351,6 @@ def cmd_bench_serve(args) -> int:
 
     from repro.reliability.faults import ChaosMonkey, ServingFaults
     from repro.serving.retry import RetryPolicy
-    from repro.serving.server import QCServer
     from repro.serving.workload import (
         point_requests,
         register_stalled_point,
@@ -336,10 +364,7 @@ def cmd_bench_serve(args) -> int:
         sample_table = _workload_table(warehouse)
         requests = point_requests(sample_table, args.requests, seed=7)
         faults = ServingFaults() if args.chaos else None
-        server = QCServer(warehouse, workers=args.workers,
-                          queue_size=args.queue_size,
-                          default_timeout=args.timeout,
-                          warm_keys=args.warm_keys, faults=faults)
+        server = _make_server(warehouse, args, faults=faults)
     except BaseException:
         # A stranded segment compactor (non-daemon) would hang exit.
         getattr(warehouse, "close", lambda: None)()
@@ -477,6 +502,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "the frozen view instead of patching it "
                             "(default 0.25; 0 always recompiles, 1 always "
                             "patches)")
+        p.add_argument("--processes", type=int, default=0,
+                       help="serve reads from N forked worker processes "
+                            "over a shared-memory packed snapshot "
+                            "(ShardServer; breaks the GIL cap for "
+                            "CPU-bound traffic; default 0 = threads only; "
+                            "incompatible with --segmented)")
         p.add_argument("--segmented", action="store_true",
                        help="serve from a SegmentedWarehouse: writes land "
                             "in a small head that seals into immutable "

@@ -769,6 +769,21 @@ class FrozenQCTree:
                 return None
         return self._value[node]
 
+    # -- packing -------------------------------------------------------------
+
+    def pack(self, table=None, stamp=(0, 0)) -> bytes:
+        """Serialize this frozen view to the zero-copy ``QCTREE/3``
+        layout (see :mod:`repro.shard.pack`): typed little-endian
+        buffers attachable from shared memory or an mmap'd file and
+        traversed in place by :class:`~repro.shard.pack.PackedQCTree`.
+        Packing walks the traversal protocol, so a patched view
+        (overlays, tombstones) compacts into fresh contiguous ids.
+        ``table`` embeds the base table, making the blob a complete
+        serving snapshot."""
+        from repro.shard.pack import pack_snapshot_bytes
+
+        return pack_snapshot_bytes(self, table=table, stamp=stamp)
+
     # -- comparison & display ------------------------------------------------
 
     def signature(self) -> tuple:

@@ -7,7 +7,17 @@ node table (label dim, label value, parent, aggregate state), and the
 link list.  Node ids are compacted on save, so freed slots never leak
 into the file.
 
-Two format versions exist:
+Three format versions exist:
+
+``QCTREE/3`` (packed, binary)
+    The zero-copy layout of :mod:`repro.shard.pack`: typed little-endian
+    buffers behind a checksummed header, attachable from shared memory
+    or an mmap'd file and traversed in place — no deserialization.
+    :func:`save_qctree_packed` writes it (atomically, like v2);
+    :func:`load_qctree_from` auto-detects it, returning the packed view
+    (``freeze=True``) or rebuilding a mutable tree from it
+    (``freeze=False``) — so v3 loads everywhere v2 does, and v2 files
+    still load and re-pack.
 
 ``QCTREE/2`` (written)
     The header line carries a CRC32 of the payload bytes plus the node
@@ -42,6 +52,7 @@ from repro.errors import SchemaError, SerializationError
 
 _MAGIC_V1 = "QCTREE/1"
 _MAGIC_V2 = "QCTREE/2"
+_MAGIC_V3 = b"QCTREE/3"
 _V2_HEADER = re.compile(
     r"^QCTREE/2 crc32=([0-9a-f]{8}) nodes=(\d+) links=(\d+)$"
 )
@@ -304,6 +315,8 @@ def load_qctree_from(path, freeze: bool = False):
         data = fp.read()
     if not data:
         raise SerializationError(f"{path_text}: file is empty")
+    if data.startswith(_MAGIC_V3):
+        return _load_packed(data, path_text, freeze)
     try:
         text = data.decode("utf-8")
     except UnicodeDecodeError as exc:
@@ -315,6 +328,52 @@ def load_qctree_from(path, freeze: bool = False):
         return loads_qctree(text, freeze=freeze)
     except SerializationError as exc:
         raise SerializationError(f"{path_text}: {exc}") from exc
+
+
+def _load_packed(data: bytes, path_text: str, freeze: bool):
+    """Load a ``QCTREE/3`` blob: the packed in-place view when
+    ``freeze=True``, else a mutable rebuild through the v2 document."""
+    from repro.shard.pack import attach_packed, packed_to_document
+
+    try:
+        attached = attach_packed(data, verify=True)
+        if freeze:
+            return attached.tree
+        return _tree_from_document(packed_to_document(attached))
+    except SerializationError as exc:
+        raise SerializationError(f"{path_text}: {exc}") from exc
+
+
+def save_qctree_packed(tree, path, table=None, meta=None,
+                       stamp=(0, 0)) -> None:
+    """Write ``tree`` (any representation) to ``path`` in the packed
+    ``QCTREE/3`` binary layout, atomically like :func:`save_qctree`.
+
+    ``table`` embeds the base table so the file is a complete serving
+    snapshot (required for attaching it into a
+    :class:`~repro.shard.server.ShardServer` or answering raw-label
+    queries); ``meta`` rides along as ``snapshot_meta``.
+    """
+    from repro.shard.pack import pack_snapshot_bytes
+
+    payload = pack_snapshot_bytes(
+        tree, table=table, stamp=stamp, snapshot_meta=meta
+    )
+    path = os.fspath(path)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "wb") as fp:
+            fp.write(payload)
+            fp.flush()
+            os.fsync(fp.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(os.path.dirname(path) or ".")
 
 
 def dumps_qctree(tree: QCTree, meta=None) -> str:

@@ -24,9 +24,14 @@ must survive, so tests can drive every recovery path deterministically.
   server's hot paths call into (:meth:`ServingFaults.fire`): read-op
   exceptions and injected slow ops (``op:<name>``), worker-thread kills
   (``worker``), and writer-phase crashes (``write:maintain`` /
-  ``write:refreeze`` / ``write:publish`` / ``write:warm``).  Each armed
-  site fires a bounded number of times, so a test arms exactly the
-  crash it wants and asserts the recovery it expects.
+  ``write:refreeze`` / ``write:publish`` / ``write:warm``).  The
+  multi-process :class:`~repro.shard.server.ShardServer` adds
+  ``shard:publish`` (writer crash between packing a snapshot and
+  announcing its segment) and ``shard:attach`` (a worker's attach of
+  the announced epoch fails; it must keep serving its last-good
+  snapshot until the supervisor re-announces).  Each armed site fires
+  a bounded number of times, so a test arms exactly the crash it wants
+  and asserts the recovery it expects.
 * :class:`ChaosMonkey` drives a seeded random stream of those faults
   from a background thread — the engine behind the chaos test suite and
   ``python -m repro bench-serve --chaos``.

@@ -243,4 +243,14 @@ def health_report(server) -> dict:
     segment_health = getattr(warehouse, "segment_health", None)
     if segment_health is not None:
         report["segments"] = segment_health()
+    # Multi-process shard servers report their worker-process fleet
+    # (liveness, restarts, attached epochs, segment footprint) the same
+    # way — see ``ShardServer.shard_health``.
+    shard_health = getattr(server, "shard_health", None)
+    if shard_health is not None:
+        shard = shard_health()
+        report["shard"] = shard
+        if live and shard["processes_alive"] == 0 and status == "ok":
+            report["status"] = "degraded"
+            report["ready"] = False
     return report

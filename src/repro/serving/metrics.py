@@ -176,7 +176,10 @@ class ServerMetrics:
     adds queueing delay.  Histograms named ``write_phase:<phase>``
     (maintain / refreeze / publish / warm) are reported separately under
     ``write_phases`` in :meth:`to_dict`, splitting the writer's total
-    ``write:<op>`` time into its pipeline stages.
+    ``write:<op>`` time into its pipeline stages.  Histograms named
+    ``shard:<phase>`` (the multi-process publish protocol's ``pack`` /
+    ``publish_detach_wait`` timings) are likewise grouped under
+    ``shard_phases``.
     """
 
     COUNTERS = (
@@ -218,10 +221,12 @@ class ServerMetrics:
     def to_dict(self) -> dict:
         """A JSON-ready readout of every counter and histogram.
 
-        Write-phase histograms are grouped under ``write_phases`` (keyed
+        Write-phase histograms are grouped under ``write_phases`` and
+        shard publish-protocol histograms under ``shard_phases`` (keyed
         by bare phase name) instead of ``ops``.
         """
         phase_prefix = "write_phase:"
+        shard_prefix = "shard:"
         return {
             "counters": {
                 name: c.value for name, c in sorted(self._counters.items())
@@ -229,11 +234,16 @@ class ServerMetrics:
             "ops": {
                 op: h.snapshot()
                 for op, h in sorted(self._histograms.items())
-                if not op.startswith(phase_prefix)
+                if not op.startswith((phase_prefix, shard_prefix))
             },
             "write_phases": {
                 op[len(phase_prefix):]: h.snapshot()
                 for op, h in sorted(self._histograms.items())
                 if op.startswith(phase_prefix)
+            },
+            "shard_phases": {
+                op[len(shard_prefix):]: h.snapshot()
+                for op, h in sorted(self._histograms.items())
+                if op.startswith(shard_prefix)
             },
         }

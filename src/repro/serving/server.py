@@ -492,6 +492,12 @@ class QCServer:
     def _supervise_loop(self) -> None:
         while not self._stop_supervisor.wait(self._supervise_interval):
             self._respawn_dead_workers()
+            self._supervise_extra()
+
+    def _supervise_extra(self) -> None:
+        """Extension point: subclasses piggyback additional supervision
+        (e.g. the shard server's worker-*process* respawn and lagging-
+        epoch repair) on the same supervisor thread."""
 
     def _respawn_dead_workers(self) -> None:
         """Replace dead worker threads, at a bounded rate.
@@ -962,6 +968,9 @@ class QCServer:
         segment_health = getattr(self.warehouse, "segment_health", None)
         if segment_health is not None:
             stats["segments"] = segment_health()
+        shard_health = getattr(self, "shard_health", None)
+        if shard_health is not None:
+            stats["shard"] = shard_health()
         stats["closed"] = self._closed
         return stats
 

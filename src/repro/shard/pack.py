@@ -1,0 +1,982 @@
+"""``QCTREE/3`` — the packed, shareable snapshot codec.
+
+:class:`~repro.core.frozen.FrozenQCTree` is already pointer-free CSR
+arrays, but they are *Python* arrays: tuples of tuples, per-node routing
+dicts, boxed aggregate states.  Packing flattens the whole serving
+snapshot — tree topology, upper bounds, aggregate state/value vectors,
+and the base table — into a handful of typed little-endian buffers
+(``int64`` / ``float64``) plus one small JSON meta block that interns
+every string exactly once (dimension names, the aggregate spec, and the
+per-dimension label dictionaries; rows and tree labels store only int
+codes).  The result is byte-layout-stable::
+
+    QCTREE/3 crc32=XXXXXXXX meta=M body=B\\n
+    <M bytes of JSON meta>
+    <zero padding to an 8-byte boundary>
+    <B bytes of section data, 8-byte aligned, little-endian>
+
+and therefore *attachable*: map the bytes — from
+``multiprocessing.shared_memory`` or an mmap'd snapshot file — and
+traverse them in place through :class:`PackedQCTree`, which implements
+the same traversal protocol (and the same ``_locate`` /
+``_point_query`` fast paths) as the frozen tree.  Attach cost is
+parsing the small meta block and slicing a dozen memoryviews — no
+deserialization of nodes, rows, or states — so N worker processes can
+serve one physical copy of the snapshot (see :mod:`repro.shard.server`).
+
+Aggregate states and values are packed as fixed-shape ``float64`` rows:
+every class of one tree shares its state *shape* (e.g. ``(sum, count)``
+for AVG), so the shape is recorded once as a template of ``"i"`` /
+``"f"`` leaves and each state flattens to ``S`` numbers.  Exotic
+aggregates whose states are not uniform numeric tuples cannot be packed
+and raise :class:`~repro.errors.SerializationError` — the thread-based
+server still serves them; the multi-process path requires packability.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import re
+import sys
+import zlib
+from array import array
+from bisect import bisect_left
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.core.cells import ALL, Cell
+from repro.core.qctree import tree_signature
+from repro.cube.aggregates import make_aggregate, values_close
+from repro.cube.schema import Schema
+from repro.cube.table import BaseTable
+from repro.errors import QueryError, SerializationError
+
+MAGIC_V3 = b"QCTREE/3"
+_V3_HEADER = re.compile(
+    rb"^QCTREE/3 crc32=([0-9a-f]{8}) meta=(\d+) body=(\d+)$"
+)
+
+#: Exact section order of the body; (name, format) with 8-byte items.
+#: The order is part of the format — offsets in the meta block are
+#: derived from it and stay stable across writers.
+SECTIONS = (
+    ("edge_start", "q"), ("edge_key", "q"), ("edge_child", "q"),
+    ("link_start", "q"), ("link_key", "q"), ("link_target", "q"),
+    ("last_dim", "q"), ("forced", "q"),
+    ("ub", "q"), ("class_kind", "q"),
+    ("state_data", "d"), ("value_data", "d"),
+    ("table_rows", "q"), ("table_measures", "d"),
+)
+
+_MAX_EXACT_INT = 2 ** 53
+_UNSET = object()
+
+
+# -- state/value templates ---------------------------------------------------
+
+
+def _template_of(sample):
+    """The shape template of one aggregate state/value: nested lists of
+    ``"i"`` (int leaf) / ``"f"`` (float leaf)."""
+    if isinstance(sample, tuple):
+        return [_template_of(part) for part in sample]
+    if isinstance(sample, bool) or not isinstance(sample, (int, float)):
+        raise SerializationError(
+            f"cannot pack aggregate payload {sample!r}: only ints, floats "
+            "and (nested) tuples of them are packable"
+        )
+    return "i" if isinstance(sample, int) else "f"
+
+
+def _template_width(template) -> int:
+    if template is None:
+        return 0
+    if isinstance(template, list):
+        return sum(_template_width(t) for t in template)
+    return 1
+
+
+def _flatten_into(value, template, out) -> None:
+    """Append ``value``'s leaves to ``out``, verifying it matches the
+    template shape and leaf types exactly (so reconstruction is lossless)."""
+    if isinstance(template, list):
+        if not isinstance(value, tuple) or len(value) != len(template):
+            raise SerializationError(
+                f"aggregate payload {value!r} does not match the tree's "
+                f"uniform shape {template!r}"
+            )
+        for part, sub in zip(value, template):
+            _flatten_into(part, sub, out)
+        return
+    if template == "i":
+        if (isinstance(value, bool) or not isinstance(value, int)
+                or not -_MAX_EXACT_INT < value < _MAX_EXACT_INT):
+            raise SerializationError(
+                f"aggregate int payload {value!r} is not exactly packable "
+                "as float64"
+            )
+    elif not isinstance(value, float):
+        raise SerializationError(
+            f"aggregate payload {value!r} does not match the tree's "
+            f"uniform leaf type {template!r}"
+        )
+    out.append(float(value))
+
+
+def _rebuild(template, flat, pos: int):
+    """Inverse of :func:`_flatten_into`; returns ``(value, next_pos)``."""
+    if isinstance(template, list):
+        parts = []
+        for sub in template:
+            value, pos = _rebuild(sub, flat, pos)
+            parts.append(value)
+        return tuple(parts), pos
+    leaf = flat[pos]
+    return (int(leaf) if template == "i" else leaf), pos + 1
+
+
+# -- packing -----------------------------------------------------------------
+
+
+def _check_label(value):
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise SerializationError(
+            f"cannot pack label {value!r}: the packed layout requires "
+            "dictionary-encoded non-negative int codes (build the tree "
+            "from a BaseTable)"
+        )
+    return value
+
+
+def pack_snapshot_bytes(tree, table=None, stamp=(0, 0),
+                        snapshot_meta=None) -> bytes:
+    """Serialize a serving snapshot to the ``QCTREE/3`` byte layout.
+
+    ``tree`` may be frozen, packed, or dict-backed — packing walks the
+    shared traversal protocol, so patched frozen views (overlays,
+    tombstones) compact transparently into fresh contiguous ids.
+    ``table`` rides along when given, making the blob a complete
+    self-contained snapshot a worker process can serve from.
+    """
+    order = list(tree.iter_nodes())
+    remap = {old: i for i, old in enumerate(order)}
+    n = len(order)
+    n_dims = tree.n_dims
+    if n == 0:
+        raise SerializationError("cannot pack an empty QC-tree (no root)")
+
+    per_edges = []
+    per_links = []
+    ubs = []
+    max_label = -1
+    states = tree.state
+    state_template = None
+    value_template = None
+    state_rows = []
+    value_rows = []
+    class_kind = array("q", bytes(8 * n))
+    for i, old in enumerate(order):
+        edges = sorted(
+            ((dim, _check_label(val)), remap[child])
+            for dim, val, child in tree.iter_children_of(old)
+        )
+        links = sorted(
+            ((dim, _check_label(val)), remap[target])
+            for dim, val, target in tree.iter_links_of(old)
+        )
+        per_edges.append(edges)
+        per_links.append(links)
+        for (_, val), _child in edges:
+            if val > max_label:
+                max_label = val
+        for (_, val), _target in links:
+            if val > max_label:
+                max_label = val
+        ub = tree.upper_bound_of(old)
+        for val in ub:
+            if val is not ALL:
+                _check_label(val)
+                if val > max_label:
+                    max_label = val
+        ubs.append(ub)
+        state = states[old]
+        if state is not None:
+            class_kind[i] = 1
+            value = tree.value_at(old)
+            if state_template is None:
+                state_template = _template_of(state)
+                value_template = _template_of(value)
+            srow: list = []
+            _flatten_into(state, state_template, srow)
+            vrow: list = []
+            _flatten_into(value, value_template, vrow)
+            state_rows.append((i, srow))
+            value_rows.append((i, vrow))
+
+    stride = max_label + 1 if max_label >= 0 else 1
+
+    edge_start = array("q", [0] * (n + 1))
+    edge_key = array("q")
+    edge_child = array("q")
+    link_start = array("q", [0] * (n + 1))
+    link_key = array("q")
+    link_target = array("q")
+    last_dim = array("q", [-1] * n)
+    forced = array("q", [-1] * n)
+    for i in range(n):
+        edges = per_edges[i]
+        for (dim, val), child in edges:
+            edge_key.append(dim * stride + val)
+            edge_child.append(child)
+        edge_start[i + 1] = len(edge_key)
+        for (dim, val), target in per_links[i]:
+            link_key.append(dim * stride + val)
+            link_target.append(target)
+        link_start[i + 1] = len(link_key)
+        if edges:
+            last = edges[-1][0][0]
+            last_dim[i] = last
+            in_last = [c for (d, _), c in edges if d == last]
+            if len(in_last) == 1:
+                forced[i] = in_last[0]
+
+    ub_flat = array("q", bytes(8 * n * n_dims))
+    for i, ub in enumerate(ubs):
+        base = i * n_dims
+        for j, val in enumerate(ub):
+            ub_flat[base + j] = -1 if val is ALL else val
+
+    s_width = _template_width(state_template)
+    v_width = _template_width(value_template)
+    state_data = array("d", bytes(8 * n * s_width))
+    for i, row in state_rows:
+        state_data[i * s_width:(i + 1) * s_width] = array("d", row)
+    value_data = array("d", bytes(8 * n * v_width))
+    for i, row in value_rows:
+        value_data[i * v_width:(i + 1) * v_width] = array("d", row)
+
+    table_rows = array("q")
+    table_measures = array("d")
+    table_meta = None
+    if table is not None:
+        n_rows = table.n_rows
+        labels = [list(table._decoders[j]) for j in range(n_dims)]
+        try:
+            json.dumps(labels)
+        except (TypeError, ValueError) as exc:
+            raise SerializationError(
+                f"table labels are not JSON-serializable: {exc}"
+            ) from exc
+        table_rows = array("q", (v for row in table.rows for v in row))
+        table_measures = array(
+            "d", np.asarray(table.measures, dtype=np.float64).reshape(-1)
+        )
+        table_meta = {
+            "n_rows": n_rows,
+            "measure_names": list(table.schema.measure_names),
+            "labels": labels,
+        }
+
+    arrays = {
+        "edge_start": edge_start, "edge_key": edge_key,
+        "edge_child": edge_child,
+        "link_start": link_start, "link_key": link_key,
+        "link_target": link_target,
+        "last_dim": last_dim, "forced": forced,
+        "ub": ub_flat, "class_kind": class_kind,
+        "state_data": state_data, "value_data": value_data,
+        "table_rows": table_rows, "table_measures": table_measures,
+    }
+    sections = []
+    chunks = []
+    offset = 0
+    for name, fmt in SECTIONS:
+        arr = arrays[name]
+        if sys.byteorder != "little":  # pragma: no cover - LE containers
+            arr = array(fmt, arr)
+            arr.byteswap()
+        raw = arr.tobytes()
+        sections.append([name, fmt, offset, len(arr)])
+        chunks.append(raw)
+        offset += len(raw)
+    body = b"".join(chunks)
+
+    lsn, epoch = (stamp if stamp is not None else (0, 0))
+    meta = {
+        "version": 3,
+        "n_dims": n_dims,
+        "dim_names": list(tree.dim_names),
+        "aggregate": _aggregate_spec_json(tree.aggregate),
+        "stride": stride,
+        "counts": {
+            "nodes": n, "edges": len(edge_key), "links": len(link_key),
+            "classes": len(state_rows),
+        },
+        "state_template": state_template,
+        "value_template": value_template,
+        "stamp": [int(lsn), int(epoch)],
+        "snapshot_meta": dict(
+            snapshot_meta if snapshot_meta is not None
+            else getattr(tree, "snapshot_meta", {}) or {}
+        ),
+        "table": table_meta,
+        "sections": sections,
+    }
+    try:
+        meta_bytes = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"snapshot meta is not JSON-serializable: {exc}"
+        ) from exc
+
+    crc = zlib.crc32(meta_bytes)
+    crc = zlib.crc32(body, crc) & 0xFFFFFFFF
+    header = (
+        f"QCTREE/3 crc32={crc:08x} meta={len(meta_bytes)} "
+        f"body={len(body)}\n"
+    ).encode("ascii")
+    pad = (-(len(header) + len(meta_bytes))) % 8
+    return header + meta_bytes + b"\0" * pad + body
+
+
+def _aggregate_spec_json(aggregate):
+    from repro.core.serialize import _spec_to_json
+    from repro.cube.aggregates import aggregate_spec
+
+    return _spec_to_json(aggregate_spec(aggregate))
+
+
+# -- the attached, traversed-in-place tree -----------------------------------
+
+
+class _StateVector:
+    """Sequence view satisfying the protocol's ``tree.state[node]``
+    access over the packed state matrix."""
+
+    __slots__ = ("_tree",)
+
+    def __init__(self, tree):
+        self._tree = tree
+
+    def __len__(self) -> int:
+        return self._tree._n
+
+    def __getitem__(self, node: int):
+        return self._tree._state_at(node)
+
+    def __iter__(self):
+        tree = self._tree
+        return (tree._state_at(i) for i in range(tree._n))
+
+
+class PackedQCTree:
+    """A QC-tree traversed in place over packed typed buffers.
+
+    Implements the shared traversal protocol plus the same optimized
+    fast paths as :class:`~repro.core.frozen.FrozenQCTree`, so every
+    query algorithm (point / range / iceberg / exploration) runs on it
+    unchanged.  Routing merges the CSR edge and link slices lazily into
+    per-node dicts on first visit — the hot prefix of the tree reaches
+    frozen-dict lookup speed after warmup while attach stays O(1).
+
+    Node ids are compact ``0..n-1`` preorder ids assigned at pack time.
+    The structure is immutable; the buffers may be shared read-only by
+    many processes.
+    """
+
+    __slots__ = (
+        "n_dims", "dim_names", "aggregate", "root", "state", "snapshot_meta",
+        "_n", "_stride", "_counts",
+        "_edge_start", "_edge_key", "_edge_child",
+        "_link_start", "_link_key", "_link_target",
+        "_last_dim", "_forced", "_ub", "_class_kind",
+        "_state_data", "_value_data",
+        "_state_template", "_value_template", "_s_width", "_v_width",
+        "_routes", "_ub_cache", "_value_cache", "_state_cache",
+    )
+
+    def __init__(self, meta: dict, views: dict):
+        counts = meta["counts"]
+        n = counts["nodes"]
+        self.n_dims = meta["n_dims"]
+        self.dim_names = tuple(meta["dim_names"])
+        self.aggregate = make_aggregate(_spec_from_json(meta["aggregate"]))
+        self.root = 0
+        self.snapshot_meta = dict(meta.get("snapshot_meta") or {})
+        self._n = n
+        self._stride = meta["stride"]
+        self._counts = dict(counts)
+        self._edge_start = views["edge_start"]
+        self._edge_key = views["edge_key"]
+        self._edge_child = views["edge_child"]
+        self._link_start = views["link_start"]
+        self._link_key = views["link_key"]
+        self._link_target = views["link_target"]
+        self._last_dim = views["last_dim"]
+        self._forced = views["forced"]
+        self._ub = views["ub"]
+        self._class_kind = views["class_kind"]
+        self._state_data = views["state_data"]
+        self._value_data = views["value_data"]
+        self._state_template = meta["state_template"]
+        self._value_template = meta["value_template"]
+        self._s_width = _template_width(self._state_template)
+        self._v_width = _template_width(self._value_template)
+        self._routes: list = [None] * n
+        self._ub_cache: list = [None] * n
+        self._value_cache: list = [_UNSET] * n
+        self._state_cache: list = [_UNSET] * n
+        self.state = _StateVector(self)
+
+    # -- size & iteration ----------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    @property
+    def n_links(self) -> int:
+        return self._counts["links"]
+
+    @property
+    def n_classes(self) -> int:
+        return self._counts["classes"]
+
+    def iter_nodes(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def iter_class_nodes(self) -> Iterator[int]:
+        kind = self._class_kind
+        return (node for node in range(self._n) if kind[node])
+
+    def iter_links(self) -> Iterator[tuple]:
+        start, keys, targets = self._link_start, self._link_key, self._link_target
+        stride = self._stride
+        for node in range(self._n):
+            for i in range(start[node], start[node + 1]):
+                key = keys[i]
+                yield node, key // stride, key % stride, targets[i]
+
+    def iter_children_of(self, node: int) -> Iterator[tuple]:
+        start, keys, children = self._edge_start, self._edge_key, self._edge_child
+        stride = self._stride
+        for i in range(start[node], start[node + 1]):
+            key = keys[i]
+            yield key // stride, key % stride, children[i]
+
+    def iter_links_of(self, node: int) -> Iterator[tuple]:
+        start, keys, targets = self._link_start, self._link_key, self._link_target
+        stride = self._stride
+        for i in range(start[node], start[node + 1]):
+            key = keys[i]
+            yield key // stride, key % stride, targets[i]
+
+    # -- traversal protocol --------------------------------------------------
+
+    def _key_of(self, dim: int, value):
+        """The packed routing key, or None for values that provably miss
+        (out of code range or un-comparable) — mirroring
+        :func:`repro.core.frozen._route_key` semantics."""
+        stride = self._stride
+        try:
+            if 0 <= value < stride:
+                return dim * stride + value
+        except TypeError:
+            pass
+        return None
+
+    def child(self, node: int, dim: int, value) -> Optional[int]:
+        key = self._key_of(dim, value)
+        if key is None:
+            return None
+        lo, hi = self._edge_start[node], self._edge_start[node + 1]
+        keys = self._edge_key
+        i = bisect_left(keys, key, lo, hi)
+        if i < hi and keys[i] == key:
+            return self._edge_child[i]
+        return None
+
+    def link_target(self, node: int, dim: int, value) -> Optional[int]:
+        key = self._key_of(dim, value)
+        if key is None:
+            return None
+        lo, hi = self._link_start[node], self._link_start[node + 1]
+        keys = self._link_key
+        i = bisect_left(keys, key, lo, hi)
+        if i < hi and keys[i] == key:
+            return self._link_target[i]
+        return None
+
+    def last_child_dim(self, node: int) -> Optional[int]:
+        last = self._last_dim[node]
+        return None if last < 0 else last
+
+    def children_in_dim(self, node: int, dim: int) -> dict:
+        lo, hi = self._edge_start[node], self._edge_start[node + 1]
+        keys = self._edge_key
+        stride = self._stride
+        first = bisect_left(keys, dim * stride, lo, hi)
+        out = {}
+        for i in range(first, hi):
+            key = keys[i]
+            if key >= (dim + 1) * stride:
+                break
+            out[key % stride] = self._edge_child[i]
+        return out
+
+    # -- cell <-> node -------------------------------------------------------
+
+    def upper_bound_of(self, node: int) -> Cell:
+        ub = self._ub_cache[node]
+        if ub is None:
+            flat = self._ub
+            base = node * self.n_dims
+            ub = tuple(
+                ALL if flat[base + j] < 0 else flat[base + j]
+                for j in range(self.n_dims)
+            )
+            self._ub_cache[node] = ub
+        return ub
+
+    def value_at(self, node: int):
+        value = self._value_cache[node]
+        if value is _UNSET:
+            if not self._class_kind[node]:
+                value = None
+            else:
+                width = self._v_width
+                base = node * width
+                value, _ = _rebuild(
+                    self._value_template,
+                    self._value_data[base:base + width], 0,
+                )
+            self._value_cache[node] = value
+        return value
+
+    def _state_at(self, node: int):
+        state = self._state_cache[node]
+        if state is _UNSET:
+            if not self._class_kind[node]:
+                state = None
+            else:
+                width = self._s_width
+                base = node * width
+                state, _ = _rebuild(
+                    self._state_template,
+                    self._state_data[base:base + width], 0,
+                )
+            self._state_cache[node] = state
+        return state
+
+    def class_upper_bounds(self) -> dict:
+        return {
+            self.upper_bound_of(node): self.value_at(node)
+            for node in self.iter_class_nodes()
+        }
+
+    # -- routing (lazy per-node merge of edges over links) -------------------
+
+    def _route_map(self, node: int) -> dict:
+        route = self._routes[node]
+        if route is None:
+            route = {}
+            lo, hi = self._link_start[node], self._link_start[node + 1]
+            keys, targets = self._link_key, self._link_target
+            for i in range(lo, hi):
+                route[keys[i]] = targets[i]
+            lo, hi = self._edge_start[node], self._edge_start[node + 1]
+            keys, children = self._edge_key, self._edge_child
+            for i in range(lo, hi):
+                route[keys[i]] = children[i]
+            self._routes[node] = route
+        return route
+
+    # -- optimized traversal fast paths --------------------------------------
+
+    def _search_route(self, node: int, dim: int, value,
+                      counter=None) -> Optional[int]:
+        key = self._key_of(dim, value)
+        forced = self._forced
+        last_dim = self._last_dim
+        while True:
+            nxt = self._route_map(node).get(key) if key is not None else None
+            if nxt is not None:
+                if counter is not None:
+                    counter[0] += 1
+                return nxt
+            last = last_dim[node]
+            if last < 0 or last >= dim:
+                return None
+            node = forced[node]
+            if node < 0:
+                return None
+            if counter is not None:
+                counter[0] += 1
+
+    def _descend_to_class(self, node: int, counter=None) -> Optional[int]:
+        kind = self._class_kind
+        forced = self._forced
+        while not kind[node]:
+            node = forced[node]
+            if node < 0:
+                return None
+            if counter is not None:
+                counter[0] += 1
+        return node
+
+    def _locate(self, cell: Cell, counter=None) -> Optional[int]:
+        forced = self._forced
+        last_dim = self._last_dim
+        kind = self._class_kind
+        node = 0
+        if counter is not None:
+            counter[0] += 1
+        for dim, value in enumerate(cell):
+            if value is ALL:
+                continue
+            key = self._key_of(dim, value)
+            while True:
+                nxt = (
+                    self._route_map(node).get(key)
+                    if key is not None else None
+                )
+                if nxt is not None:
+                    node = nxt
+                    if counter is not None:
+                        counter[0] += 1
+                    break
+                last = last_dim[node]
+                if last < 0 or last >= dim:
+                    return None
+                nxt = forced[node]
+                if nxt < 0:
+                    return None
+                node = nxt
+                if counter is not None:
+                    counter[0] += 1
+        while not kind[node]:
+            nxt = forced[node]
+            if nxt < 0:
+                return None
+            node = nxt
+            if counter is not None:
+                counter[0] += 1
+        for cv, uv in zip(cell, self.upper_bound_of(node)):
+            if cv is not ALL and cv != uv:
+                return None
+        return node
+
+    def _point_query(self, cell: Cell):
+        if len(cell) != self.n_dims:
+            raise QueryError(
+                f"query cell {cell!r} has {len(cell)} positions, tree has "
+                f"{self.n_dims} dimensions"
+            )
+        node = self._locate(cell)
+        return None if node is None else self.value_at(node)
+
+    # -- comparison & display ------------------------------------------------
+
+    def signature(self) -> tuple:
+        return tree_signature(self)
+
+    def equivalent_to(self, other, rel_tol: float = 1e-9) -> bool:
+        mine, theirs = self.signature(), other.signature()
+        if mine[0] != theirs[0] or mine[1] != theirs[1]:
+            return False
+        if len(mine[2]) != len(theirs[2]):
+            return False
+        return all(
+            ub_a == ub_b and values_close(val_a, val_b, rel_tol=rel_tol)
+            for (ub_a, val_a), (ub_b, val_b) in zip(mine[2], theirs[2])
+        )
+
+    def stats(self) -> dict:
+        return {
+            "nodes": self.n_nodes,
+            "tree_edges": self.n_nodes - 1,
+            "links": self.n_links,
+            "classes": self.n_classes,
+        }
+
+    def __repr__(self):
+        return (
+            f"PackedQCTree(nodes={self.n_nodes}, links={self.n_links}, "
+            f"classes={self.n_classes}, aggregate={self.aggregate.name})"
+        )
+
+
+def _spec_from_json(spec):
+    """JSON round-trip of an aggregate spec: lists are MultiAggregate
+    parts, strings are the ``tag(measure)`` call form."""
+    if isinstance(spec, list):
+        return [_spec_from_json(s) for s in spec]
+    return spec
+
+
+# -- packed base table -------------------------------------------------------
+
+
+class _PackedRows:
+    """Read-only sequence view presenting the flat row buffer as the
+    list-of-int-tuples shape :class:`~repro.cube.table.BaseTable` uses."""
+
+    __slots__ = ("_flat", "_n", "_width")
+
+    def __init__(self, flat, n_rows: int, width: int):
+        self._flat = flat
+        self._n = n_rows
+        self._width = width
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, i: int):
+        if isinstance(i, slice):
+            return [self[j] for j in range(*i.indices(self._n))]
+        if i < 0:
+            i += self._n
+        if not 0 <= i < self._n:
+            raise IndexError(i)
+        base = i * self._width
+        return tuple(self._flat[base:base + self._width])
+
+    def __iter__(self):
+        flat, width = self._flat, self._width
+        for i in range(self._n):
+            base = i * width
+            yield tuple(flat[base:base + width])
+
+
+# -- attach ------------------------------------------------------------------
+
+
+class AttachedSnapshot:
+    """A ``QCTREE/3`` blob attached in place.
+
+    Holds the :class:`PackedQCTree`, the reconstructed (row-view-backed)
+    :class:`~repro.cube.table.BaseTable` when the blob carried one, the
+    serving ``stamp``, and the exported memoryviews.  Call
+    :meth:`release` before closing the underlying shared-memory segment
+    or mmap — it drops every exported buffer view so the mapping can
+    close without ``BufferError``.
+    """
+
+    __slots__ = ("tree", "table", "stamp", "nbytes", "meta", "_views")
+
+    def __init__(self, tree, table, stamp, nbytes, meta, views):
+        self.tree = tree
+        self.table = table
+        self.stamp = stamp
+        self.nbytes = nbytes
+        self.meta = meta
+        self._views = views
+
+    def serving_snapshot(self, index_key=None):
+        from repro.serving.snapshot import ServingSnapshot
+
+        if self.table is None:
+            raise SerializationError(
+                "packed snapshot has no base table; pack with table= to "
+                "serve raw-label queries from it"
+            )
+        return ServingSnapshot(
+            self.tree, self.table, self.tree.aggregate,
+            stamp=self.stamp, index_key=index_key,
+        )
+
+    def release(self) -> None:
+        """Release every memoryview exported from the backing buffer."""
+        tree = self.tree
+        if tree is not None:
+            # Drop the tree's buffer-backed attributes so nothing keeps
+            # an export alive past release().
+            for slot in ("_edge_start", "_edge_key", "_edge_child",
+                         "_link_start", "_link_key", "_link_target",
+                         "_last_dim", "_forced", "_ub", "_class_kind",
+                         "_state_data", "_value_data"):
+                try:
+                    setattr(tree, slot, array("q"))
+                except Exception:
+                    pass
+        self.tree = None
+        self.table = None
+        for view in self._views:
+            try:
+                view.release()
+            except Exception:
+                pass
+        self._views = []
+
+
+def attach_packed(buffer, verify: bool = False) -> AttachedSnapshot:
+    """Attach a ``QCTREE/3`` blob and traverse it in place.
+
+    ``buffer`` may be ``bytes``, a ``memoryview`` (e.g.
+    ``SharedMemory.buf``), or an ``mmap`` object.  ``verify=True``
+    checks the header CRC over meta+body (used for file loads; shared
+    memory published by the local writer skips it for instant attach).
+    """
+    view = memoryview(buffer)
+    views = [view]
+    try:
+        return _attach_views(view, views, verify)
+    except BaseException:
+        # Leave no exported pointers behind on a failed attach, so the
+        # caller can still close its mmap / shared-memory handle.
+        for stale in views:
+            try:
+                stale.release()
+            except BufferError:  # pragma: no cover - defensive
+                pass
+        raise
+
+
+def _attach_views(view, views, verify: bool):
+    head = bytes(view[:256])
+    nl = head.find(b"\n")
+    if nl < 0:
+        raise SerializationError("truncated QCTREE/3 header")
+    match = _V3_HEADER.match(head[:nl])
+    if match is None:
+        raise SerializationError(
+            f"malformed QCTREE/3 header {head[:nl]!r}"
+        )
+    want_crc = int(match.group(1), 16)
+    meta_len = int(match.group(2))
+    body_len = int(match.group(3))
+    meta_off = nl + 1
+    body_off = meta_off + meta_len + ((-(meta_off + meta_len)) % 8)
+    if body_off + body_len > len(view):
+        raise SerializationError(
+            f"truncated QCTREE/3 blob: header promises {body_len} body "
+            f"bytes at offset {body_off}, buffer has {len(view)}"
+        )
+    meta_bytes = bytes(view[meta_off:meta_off + meta_len])
+    if verify:
+        crc = zlib.crc32(meta_bytes)
+        crc = zlib.crc32(view[body_off:body_off + body_len], crc) & 0xFFFFFFFF
+        if crc != want_crc:
+            raise SerializationError(
+                f"QCTREE/3 checksum mismatch: header says "
+                f"crc32={want_crc:08x}, blob has {crc:08x} "
+                "(truncated or corrupt snapshot)"
+            )
+    try:
+        meta = json.loads(meta_bytes)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(
+            f"malformed QCTREE/3 meta block: {exc.msg}"
+        ) from exc
+
+    section_views = {}
+    try:
+        for name, fmt, offset, count in meta["sections"]:
+            lo = body_off + offset
+            section = view[lo:lo + 8 * count].cast(fmt)
+            section_views[name] = section
+            views.append(section)
+        tree = PackedQCTree(meta, section_views)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"corrupt QCTREE/3 payload: {exc}"
+        ) from exc
+
+    table = None
+    table_meta = meta.get("table")
+    if table_meta is not None:
+        n_rows = table_meta["n_rows"]
+        n_dims = meta["n_dims"]
+        decoders = [list(labels) for labels in table_meta["labels"]]
+        encoders = [
+            {label: code for code, label in enumerate(labels)}
+            for labels in decoders
+        ]
+        schema = Schema(
+            dimensions=tuple(meta["dim_names"]),
+            measures=tuple(table_meta["measure_names"]),
+        )
+        measures = np.frombuffer(
+            section_views["table_measures"], dtype="<f8"
+        ).reshape(n_rows, len(table_meta["measure_names"]))
+        measures.flags.writeable = False
+        rows = _PackedRows(section_views["table_rows"], n_rows, n_dims)
+        table = BaseTable(schema, rows, measures, decoders, encoders)
+
+    stamp = tuple(meta.get("stamp") or (0, 0))
+    return AttachedSnapshot(
+        tree, table, stamp, body_off + body_len, meta, views
+    )
+
+
+def attach_packed_file(path, verify: bool = True) -> AttachedSnapshot:
+    """mmap a ``QCTREE/3`` snapshot file and attach it zero-copy.
+
+    The mapping is held by the returned views; page cache makes repeat
+    attaches effectively free, which is the "instant load" property the
+    packed layout exists for.
+    """
+    with open(path, "rb") as fp:
+        mapped = mmap.mmap(fp.fileno(), 0, access=mmap.ACCESS_READ)
+    try:
+        return attach_packed(mapped, verify=verify)
+    except SerializationError as exc:
+        mapped.close()
+        raise SerializationError(f"{path}: {exc}") from exc
+
+
+# -- packed -> mutable reconstruction ---------------------------------------
+
+
+def packed_to_document(attached_or_tree) -> dict:
+    """The ``QCTREE/2`` JSON document equivalent of a packed tree.
+
+    Lets :func:`repro.core.serialize._tree_from_document` rebuild a
+    mutable :class:`~repro.core.qctree.QCTree` from a packed snapshot —
+    the ``QCTREE/3`` half of "v2 still loads and re-packs".
+    """
+    from repro.core.serialize import _state_to_json
+
+    attached = attached_or_tree
+    tree = getattr(attached, "tree", attached)
+    order = []
+    parent_row = {}
+    stack = [(tree.root, -1, -1, -1)]
+    while stack:
+        node, dim, value, parent_idx = stack.pop()
+        idx = len(order)
+        order.append(node)
+        parent_row[node] = (dim, value, parent_idx)
+        children = sorted(tree.iter_children_of(node), reverse=True)
+        for cdim, cvalue, child in children:
+            stack.append((child, cdim, cvalue, idx))
+    remap = {node: i for i, node in enumerate(order)}
+    nodes = []
+    for node in order:
+        dim, value, parent_idx = parent_row[node]
+        nodes.append([
+            dim, None if value < 0 else value, parent_idx,
+            _state_to_json(tree.state[node]),
+        ])
+    links = [
+        [remap[src], dim, value, remap[dst]]
+        for src, dim, value, dst in tree.iter_links()
+    ]
+    document = {
+        "n_dims": tree.n_dims,
+        "dim_names": list(tree.dim_names),
+        "aggregate": _aggregate_spec_json(tree.aggregate),
+        "nodes": nodes,
+        "links": links,
+    }
+    meta = getattr(tree, "snapshot_meta", None)
+    if meta:
+        document["meta"] = dict(meta)
+    table_meta = None
+    if attached is not tree:
+        table_meta = (attached.meta or {}).get("table")
+    if table_meta is not None:
+        document["labels"] = [list(d) for d in table_meta["labels"]]
+    return document

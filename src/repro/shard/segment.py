@@ -1,0 +1,159 @@
+"""Shared-memory segment lifecycle for packed snapshots.
+
+One published snapshot lives in one POSIX shared-memory segment
+(``/dev/shm/qctree-<pid>-<seq>-<token>``).  The writer process creates
+and eventually unlinks segments; worker processes only ever *attach*.
+Hygiene rules this module enforces (and tests assert):
+
+* every segment the writer creates is recorded in a process-local
+  registry and unlinked at ``close()``, on interpreter exit (``atexit``)
+  and on SIGTERM when :func:`install_signal_cleanup` is active — no
+  ``/dev/shm/qctree-*`` files survive a clean or signaled shutdown;
+* attaching from a child never registers with ``resource_tracker`` (on
+  Pythons without ``SharedMemory(track=)`` the registration is undone
+  manually), so worker exits produce no "leaked shared_memory objects"
+  warnings and no double-unlink races;
+* the *creator's* tracker registration is deliberately kept: if the
+  writer dies un-handled (SIGKILL aside), the tracker reaps the segment.
+
+POSIX semantics make aggressive unlinking safe: an unlinked segment
+stays valid for every process that already mapped it, so the publish
+protocol may unlink an old epoch while a straggling reader still holds
+it — the memory goes away only on the last detach.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import signal
+import threading
+from itertools import count
+from multiprocessing import resource_tracker, shared_memory
+
+SEGMENT_PREFIX = "qctree-"
+
+_created_lock = threading.Lock()
+_created: dict = {}  # name -> SharedMemory kept open by the creator
+_seq = count(1)
+
+
+def segment_name() -> str:
+    """A fresh segment name, unique per (process, sequence, entropy)."""
+    return f"{SEGMENT_PREFIX}{os.getpid()}-{next(_seq)}-{secrets.token_hex(4)}"
+
+
+def create_segment(payload: bytes) -> shared_memory.SharedMemory:
+    """Create a shared segment holding ``payload`` and register it for
+    cleanup.  The returned handle stays open in the creator (its mapping
+    backs the parent's own attach) until :func:`unlink_segment`."""
+    shm = shared_memory.SharedMemory(
+        name=segment_name(), create=True, size=max(1, len(payload))
+    )
+    shm.buf[: len(payload)] = payload
+    with _created_lock:
+        _created[shm.name] = shm
+    return shm
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without adopting cleanup ownership.
+
+    ``SharedMemory(name)`` on Pythons before 3.13 registers every attach
+    with ``resource_tracker``.  Under the fork start method the child
+    shares the parent's tracker process, so the attach registration —
+    or un-registering it afterwards — corrupts the *creator's* entry
+    (double-unlink races, tracker KeyError spam at exit).  Suppress the
+    registration instead: only the creator tracks the segment.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track= parameter
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def unlink_segment(name: str) -> None:
+    """Unlink a segment this process created.  Idempotent; safe while
+    other processes still map it (POSIX keeps their mapping alive)."""
+    with _created_lock:
+        shm = _created.pop(name, None)
+    if shm is None:
+        return
+    try:
+        shm.close()
+    except BufferError:
+        # A live memoryview still pins the parent's mapping; the unlink
+        # below still removes the name, and the mapping is reclaimed
+        # when the view goes away.
+        pass
+    except OSError:
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    except OSError:
+        pass
+
+
+def created_segments() -> list:
+    """Names of segments this process created and has not yet unlinked
+    (the hygiene guard tests assert this is empty after teardown)."""
+    with _created_lock:
+        return sorted(_created)
+
+
+def active_segments() -> list:
+    """``/dev/shm`` entries matching our prefix — the ground-truth leak
+    check, independent of the in-process registry."""
+    try:
+        entries = os.listdir("/dev/shm")
+    except (FileNotFoundError, NotADirectoryError, PermissionError):
+        return []
+    return sorted(e for e in entries if e.startswith(SEGMENT_PREFIX))
+
+
+def cleanup_created_segments() -> None:
+    """Unlink every segment this process still owns (atexit / SIGTERM)."""
+    for name in created_segments():
+        unlink_segment(name)
+
+
+atexit.register(cleanup_created_segments)
+
+_signal_installed = False
+
+
+def install_signal_cleanup() -> None:
+    """Chain segment cleanup onto SIGTERM/SIGINT in the main thread.
+
+    Used by the CLI ``serve`` path: a supervisor sending SIGTERM must
+    not leave ``/dev/shm`` litter.  Previous handlers are preserved and
+    re-raised so default termination semantics keep working.
+    """
+    global _signal_installed
+    if _signal_installed or threading.current_thread() is not threading.main_thread():
+        return
+    _signal_installed = True
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous = signal.getsignal(signum)
+
+        def _handler(num, frame, _previous=previous):
+            cleanup_created_segments()
+            if callable(_previous):
+                _previous(num, frame)
+            else:
+                signal.signal(num, signal.SIG_DFL)
+                signal.raise_signal(num)
+
+        try:
+            signal.signal(signum, _handler)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass

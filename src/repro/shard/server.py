@@ -1,0 +1,830 @@
+"""``ShardServer`` — multi-process serving over shared-memory snapshots.
+
+The thread-based :class:`~repro.serving.server.QCServer` is capped at
+one core for pure-CPU traffic: every reader thread shares the GIL
+(``BENCH_concurrent.json``'s flat ``cpu`` series).  This module breaks
+that cap with the classic shared-nothing-readers design:
+
+* the **parent** keeps everything the thread server already does —
+  admission queue, deadlines, metrics ledger, stamped query cache,
+  circuit breaker, the single-writer mutation pipeline, the supervisor
+  — by *subclassing* ``QCServer``;
+* N forked **worker processes** each attach the current snapshot
+  segment (a ``QCTREE/3`` blob in ``multiprocessing.shared_memory``,
+  see :mod:`repro.shard.pack`) and answer point/range/iceberg/
+  exploration requests lock-free from the shared buffers.  Attach is
+  O(1) — slice a dozen memoryviews — so respawn and epoch swap are
+  instant, and all processes serve **one physical copy** of the data;
+* a :class:`ShardRouter` shards requests by first-dimension prefix
+  (deterministic hash of the first bound value) so repeated traffic for
+  one prefix lands on one process's warm route cache, falling back to
+  round-robin for unprefixed requests.
+
+**Publish protocol.**  The single writer mutates the dict tree exactly
+as before.  On publish it packs the new frozen view into a *fresh*
+segment, announces ``(lsn, epoch, segment_name)`` to every worker over
+its pipe, swaps the parent snapshot, and waits (bounded) for each
+worker to attach the new epoch and detach the old one; segments with no
+remaining attachments are then unlinked.  A worker that fails to attach
+keeps serving its last-good epoch — it is simply not routed to until
+the supervisor repairs it (re-announce, or respawn on death), with the
+parent answering its share from its own snapshot in the meantime — so
+readers never block on a publish, never observe a torn snapshot, and
+post-publish answers always reflect the current epoch.  POSIX shared
+memory makes the unlink safe even against a straggler: an unlinked
+segment stays mapped until its last detach.
+
+**Failure modes** (see DESIGN §10 for the full table): a crashed worker
+process fails its in-flight requests with
+:class:`~repro.errors.WorkerCrashedError` (safe to retry) and is
+respawned attached to the current segment; a writer crash between pack
+and announce is absorbed by the inherited write pipeline (retry, then
+degraded read-only mode, then :meth:`~repro.serving.server.QCServer.
+recover`); with *zero* routable processes the parent answers from its
+own snapshot (``shard_local_fallbacks``) so the service degrades to
+thread-mode rather than failing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+import warnings
+import zlib
+from itertools import count
+from typing import Optional
+
+from repro.core.cells import ALL
+from repro.errors import (
+    DeadlineExceededError,
+    QueryError,
+    ServerClosedError,
+    ServingError,
+    WorkerCrashedError,
+)
+from repro.serving.server import SNAPSHOT_OPS, QCServer, _snapshot_op
+from repro.shard.pack import pack_snapshot_bytes
+from repro.shard.segment import create_segment, unlink_segment
+from repro.shard.worker import worker_main
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+
+
+class ShardRouter:
+    """First-dimension-prefix sharding policy.
+
+    Routing is a *placement* choice, not a correctness one — every
+    worker holds the full snapshot — so the router optimizes for cache
+    locality: requests whose first dimension is bound hash its value
+    (``adler32`` of the repr: stable across processes and runs, unlike
+    ``hash()`` under ``PYTHONHASHSEED`` randomization) so one prefix
+    always lands on the same worker slot; everything else round-robins.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rr = count(seed)
+
+    @staticmethod
+    def prefix_key(op: str, args: tuple):
+        """The routing key, or None when the request has no usable
+        first-dimension prefix."""
+        if op not in ("point", "range", "class_of", "open_class") or not args:
+            return None
+        spec = args[0]
+        try:
+            first = spec[0]
+        except (TypeError, IndexError, KeyError):
+            return None
+        if first is None or first is ALL or first == "*":
+            return None
+        if isinstance(first, (list, tuple, set, frozenset, dict)):
+            return None  # a candidate set spans shards; balance instead
+        return first
+
+    def slot(self, op: str, args: tuple, n_slots: int) -> int:
+        key = self.prefix_key(op, args)
+        if key is None:
+            return next(self._rr) % n_slots
+        return zlib.adler32(repr(key).encode("utf-8", "replace")) % n_slots
+
+
+class _Pending:
+    """One in-flight forwarded request awaiting its worker's answer."""
+
+    __slots__ = ("ok", "payload", "event")
+
+    def __init__(self):
+        self.ok = False
+        self.payload = None
+        self.event = threading.Event()
+
+    def complete(self, ok: bool, payload) -> None:
+        self.ok = ok
+        self.payload = payload
+        self.event.set()
+
+
+class _BatchSlot:
+    """One element of a scattered :meth:`ShardServer.map_query` batch."""
+
+    __slots__ = ("batch", "index")
+
+    def __init__(self, batch, index: int):
+        self.batch = batch
+        self.index = index
+
+    def complete(self, ok: bool, payload) -> None:
+        self.batch.put(self.index, ok, payload)
+
+
+class _Batch:
+    """Gather side of a scattered bulk query."""
+
+    def __init__(self, size: int):
+        self.results = [None] * size
+        self.flags = [False] * size
+        self._remaining = size
+        self._lock = threading.Lock()
+        self.event = threading.Event()
+        if size == 0:
+            self.event.set()
+
+    def put(self, index: int, ok: bool, payload) -> None:
+        with self._lock:
+            self.results[index] = payload
+            self.flags[index] = ok
+            self._remaining -= 1
+            done = self._remaining == 0
+        if done:
+            self.event.set()
+
+
+class _ProcHandle:
+    """Parent-side state of one worker process: the process, its pipe,
+    the in-flight table, and the epoch it last confirmed attaching.
+
+    Locking: ``lock`` guards ``pending``/``alive``; ``send_lock``
+    serializes pipe sends and is *never* taken by the receiver thread,
+    so a send blocked on a full pipe can never stop the receiver from
+    draining answers (which is what unblocks the worker, and hence the
+    send).
+    """
+
+    def __init__(self, slot: int, proc, conn):
+        self.slot = slot
+        self.proc = proc
+        self.conn = conn
+        self.lock = threading.Lock()
+        self.send_lock = threading.Lock()
+        self.pending: dict = {}
+        self.alive = True
+        self.attached_epoch = 0
+        self.answered = 0
+        self.receiver: Optional[threading.Thread] = None
+        self.last_announce = 0.0
+
+    def send(self, message) -> bool:
+        with self.send_lock:
+            with self.lock:
+                if not self.alive:
+                    return False
+            try:
+                self.conn.send(message)
+                return True
+            except (OSError, ValueError, BrokenPipeError):
+                return False
+
+    def fail_pending(self, exc) -> None:
+        with self.lock:
+            stranded = list(self.pending.values())
+            self.pending.clear()
+        for sink in stranded:
+            sink.complete(False, exc)
+
+
+class ShardServer(QCServer):
+    """A :class:`~repro.serving.server.QCServer` whose reads execute in
+    forked worker processes over one shared-memory packed snapshot.
+
+    >>> server = ShardServer(warehouse, processes=4)
+    >>> server.point(("S2", "*", "f"))      # same surface as QCServer
+    9.0
+    >>> server.map_query("point", [(cell,) for cell in cells])  # bulk
+    [...]
+    >>> server.close()                      # no threads, procs, or
+    ...                                     # /dev/shm segments left
+
+    ``processes`` sets the worker-process fleet; ``workers`` (the
+    inherited thread pool) defaults to ``processes`` — parent threads
+    only forward and wait on pipes, releasing the GIL, so thread count
+    just bounds per-request concurrency.  Everything else is inherited
+    :class:`~repro.serving.server.QCServer` behavior: admission,
+    deadlines, cache (answers are cached parent-side keyed by snapshot
+    stamp), breaker, write pipeline, degraded mode, fault injection
+    (plus the shard sites ``shard:publish`` and ``shard:attach``).
+    """
+
+    #: Seconds a forwarding thread waits for a worker answer before
+    #: failing the request (worker death is detected far sooner via
+    #: pipe EOF; this bounds a wedged-but-alive worker).
+    SHARD_RPC_TIMEOUT_S = 30.0
+    #: Bounded wait for workers to ack an epoch swap; laggards are
+    #: repaired by the supervisor, readers are never blocked on them.
+    PUBLISH_ACK_TIMEOUT_S = 5.0
+    #: Seconds to wait for a freshly spawned worker's ready handshake.
+    SPAWN_TIMEOUT_S = 60.0
+    #: Supervisor re-announces the current epoch to a lagging worker at
+    #: most this often (seconds).
+    REANNOUNCE_INTERVAL_S = 0.5
+
+    def __init__(self, warehouse, processes: int = 2, workers=None,
+                 router: Optional[ShardRouter] = None,
+                 index_key=None, **kwargs):
+        if processes < 1:
+            raise ValueError(f"need at least one process, got {processes}")
+        self._nprocs = processes
+        self._router = router if router is not None else ShardRouter()
+        self._index_key = index_key
+        self._ctx = _mp_context()
+        self._shard_lock = threading.Lock()
+        self._rid = count(1)
+        self._handles: list = []
+        self._epoch = 0
+        self._stamp = (0, 0)
+        self._epoch_segments: dict = {}  # epoch -> segment name
+        self._tickets: dict = {}  # epoch -> [expected slot set, Event]
+        self._snapshot_bytes = 0
+        self._procs_stopped = False
+
+        # Pack and publish epoch 1 and fork the fleet *before*
+        # super().__init__ spawns any thread: forking a single-threaded
+        # parent is safe on every Python.
+        snapshot = self._shardable_snapshot(warehouse)
+        payload = pack_snapshot_bytes(
+            snapshot.tree, snapshot.table, stamp=snapshot.stamp
+        )
+        self._epoch = 1
+        self._stamp = snapshot.stamp
+        self._snapshot_bytes = len(payload)
+        shm = create_segment(payload)
+        self._epoch_segments[1] = shm.name
+        try:
+            for slot in range(processes):
+                self._handles.append(self._spawn_process(slot))
+        except BaseException:
+            self._shutdown_processes()
+            self._unlink_all_segments()
+            raise
+
+        try:
+            super().__init__(warehouse, workers=workers or processes,
+                             **kwargs)
+        except BaseException:
+            self._shutdown_processes()
+            self._unlink_all_segments()
+            raise
+
+        # Re-point the snapshot ops at the worker fleet.  The inherited
+        # read path (_serve/_answer: deadlines, cache, metrics, breaker,
+        # op fault sites) is untouched — only the innermost call changes
+        # from "walk my snapshot" to "ask a worker process".  Ops added
+        # later via register_op keep running parent-side.
+        self._local_ops = {op: _snapshot_op(op) for op in SNAPSHOT_OPS}
+        for op in SNAPSHOT_OPS:
+            self._ops[op] = self._forwarder(op)
+
+        # Receivers start only now: every fork already happened.
+        for handle in self._handles:
+            self._start_receiver(handle)
+
+    # -- snapshot packing ----------------------------------------------------
+
+    @staticmethod
+    def _shardable_snapshot(warehouse):
+        snapshot = warehouse.snapshot_view()
+        if snapshot.tree is warehouse.tree:
+            raise ServingError(
+                "ShardServer requires a healthy frozen-serving warehouse "
+                "(serve_frozen=True and not degraded); the mutable dict "
+                "tree cannot be shared with concurrent writers"
+            )
+        if getattr(snapshot, "table", None) is None:
+            raise ServingError(
+                "ShardServer requires a monolithic (tree, table) snapshot; "
+                "segmented warehouses are served by the thread-based "
+                "QCServer"
+            )
+        return snapshot
+
+    # -- process fleet -------------------------------------------------------
+
+    def _spawn_process(self, slot: int) -> _ProcHandle:
+        """Fork one worker attached to the current segment and complete
+        its ready handshake.  Called single-threaded from ``__init__``
+        and from the supervisor thread on respawn (where the fork-with-
+        threads DeprecationWarning of newer Pythons is expected and
+        harmless: the child only runs already-imported code)."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        lsn, _ = self._stamp
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            proc = self._ctx.Process(
+                target=worker_main,
+                args=(child_conn, self._epoch_segments[self._epoch],
+                      lsn, self._epoch, self._index_key),
+                name=f"{getattr(self, 'name', 'shard')}-proc-{slot}",
+                daemon=True,
+            )
+            proc.start()
+        child_conn.close()
+        handle = _ProcHandle(slot, proc, parent_conn)
+        if not parent_conn.poll(self.SPAWN_TIMEOUT_S):
+            proc.terminate()
+            raise ServingError(
+                f"shard worker {slot} did not come up within "
+                f"{self.SPAWN_TIMEOUT_S}s"
+            )
+        kind, _pid, epoch = parent_conn.recv()
+        if kind != "ready":  # pragma: no cover - protocol violation
+            proc.terminate()
+            raise ServingError(
+                f"shard worker {slot} sent {kind!r} instead of ready"
+            )
+        handle.attached_epoch = epoch
+        return handle
+
+    def _start_receiver(self, handle: _ProcHandle) -> None:
+        thread = threading.Thread(
+            target=self._receiver_loop,
+            args=(handle,),
+            name=f"{self.name}-shard-rx-{handle.slot}",
+            daemon=False,
+        )
+        handle.receiver = thread
+        thread.start()
+
+    def _receiver_loop(self, handle: _ProcHandle) -> None:
+        conn = handle.conn
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "a":
+                for rid, ok, payload in message[1]:
+                    with handle.lock:
+                        sink = handle.pending.pop(rid, None)
+                    if sink is not None:
+                        handle.answered += 1
+                        sink.complete(ok, payload)
+            elif kind == "pub_ok":
+                epoch = message[1]
+                with self._shard_lock:
+                    handle.attached_epoch = epoch
+                    self._ack_ticket_locked(epoch, handle.slot)
+            elif kind == "pub_err":
+                epoch = message[1]
+                self._metrics.counter("shard_attach_failures").inc()
+                with self._shard_lock:
+                    # The worker keeps serving its last-good epoch; the
+                    # supervisor re-announces until it converges.
+                    self._ack_ticket_locked(epoch, handle.slot)
+        with handle.lock:
+            was_alive = handle.alive
+            handle.alive = False
+        if was_alive and not self._procs_stopped:
+            self._metrics.counter("shard_process_crashes").inc()
+        handle.fail_pending(WorkerCrashedError(
+            f"shard worker process {handle.slot} died before answering; "
+            "the read never ran and is safe to retry"
+        ))
+        with self._shard_lock:
+            for epoch in list(self._tickets):
+                self._ack_ticket_locked(epoch, handle.slot)
+
+    def _ack_ticket_locked(self, epoch: int, slot: int) -> None:
+        ticket = self._tickets.get(epoch)
+        if ticket is None:
+            return
+        expected, event = ticket
+        expected.discard(slot)
+        if not expected:
+            event.set()
+            self._tickets.pop(epoch, None)
+
+    # -- read path: forward to the fleet -------------------------------------
+
+    def _forwarder(self, op: str):
+        local = self._local_ops[op]
+
+        def call(snapshot, *args, **kwargs):
+            handle = self._pick(op, args)
+            if handle is None:
+                # No worker is on the current epoch (fleet loss, or the
+                # brief window of an in-flight publish): answer thread-
+                # mode from the parent's own snapshot, which is always
+                # current — correctness never waits on the fleet.
+                self._metrics.counter("shard_local_fallbacks").inc()
+                return local(snapshot, *args, **kwargs)
+            return self._forward(handle, op, args, kwargs)
+
+        call.__name__ = f"shard_op_{op}"
+        return call
+
+    def _serving_handles(self) -> list:
+        """Live workers attached to the *current* epoch — the only ones
+        routable, so every answer (and thus every parent-side cache
+        fill, keyed by the current stamp) reflects the published
+        snapshot even while laggards still serve an old epoch."""
+        with self._shard_lock:
+            epoch = self._epoch
+            return [
+                h for h in self._handles
+                if h.alive and h.attached_epoch == epoch
+            ]
+
+    def _pick(self, op: str, args: tuple) -> Optional[_ProcHandle]:
+        live = self._serving_handles()
+        if not live:
+            return None
+        return live[self._router.slot(op, args, len(live))]
+
+    def _forward(self, handle: _ProcHandle, op: str, args: tuple,
+                 kwargs: dict):
+        rid = next(self._rid)
+        pending = _Pending()
+        with handle.lock:
+            if not handle.alive:
+                raise WorkerCrashedError(
+                    f"shard worker {handle.slot} is down; retry"
+                )
+            handle.pending[rid] = pending
+        if not handle.send(("q", [(rid, op, args, kwargs)])):
+            with handle.lock:
+                handle.pending.pop(rid, None)
+            raise WorkerCrashedError(
+                f"shard worker {handle.slot} pipe broke mid-send; "
+                "the read never ran and is safe to retry"
+            )
+        if not pending.event.wait(self.SHARD_RPC_TIMEOUT_S):
+            with handle.lock:
+                handle.pending.pop(rid, None)
+            raise DeadlineExceededError(
+                f"shard worker {handle.slot} did not answer {op!r} within "
+                f"{self.SHARD_RPC_TIMEOUT_S}s"
+            )
+        if pending.ok:
+            return pending.payload
+        raise pending.payload
+
+    # -- bulk path -----------------------------------------------------------
+
+    def map_query(self, op: str, calls, timeout: Optional[float] = None):
+        """Answer many calls of one snapshot op as scattered batches.
+
+        ``calls`` is a sequence of positional-argument tuples, e.g.
+        ``[(cell,), (cell2,)]`` for ``point``.  The batch is sharded
+        across the routable fleet (prefix-routed, then balanced), each
+        worker answers its whole chunk in one message round-trip, and
+        the results come back in input order.  This amortizes the
+        per-request pipe+future overhead that bounds ``submit`` — it is
+        the path that scales with cores — while keeping the admission
+        ledger balanced (each element counts as submitted and
+        completed/errored).  The first failed element's error re-raises
+        after the batch completes.
+        """
+        if self._closed:
+            raise ServerClosedError("server is closed")
+        if op not in self._local_ops:
+            raise QueryError(
+                f"map_query serves snapshot ops {sorted(self._local_ops)}; "
+                f"got {op!r}"
+            )
+        calls = [tuple(args) for args in calls]
+        metrics = self._metrics
+        metrics.counter("submitted").inc(len(calls))
+        live = self._serving_handles()
+        snapshot = self._snapshot
+        start = time.monotonic()
+        if not live:
+            metrics.counter("shard_local_fallbacks").inc()
+            results, first_error = [], None
+            local = self._local_ops[op]
+            n_err = 0
+            for args in calls:
+                try:
+                    results.append(local(snapshot, *args))
+                except Exception as exc:
+                    results.append(None)
+                    n_err += 1
+                    if first_error is None:
+                        first_error = exc
+            metrics.counter("completed").inc(len(calls) - n_err)
+            metrics.counter("errors").inc(n_err)
+            metrics.observe(op, time.monotonic() - start)
+            if first_error is not None:
+                raise first_error
+            return results
+
+        batch = _Batch(len(calls))
+        chunks: dict = {}
+        for index, args in enumerate(calls):
+            handle = live[self._router.slot(op, args, len(live))]
+            chunks.setdefault(handle.slot, (handle, []))[1].append(
+                (index, args)
+            )
+        for handle, items in chunks.values():
+            wire = []
+            with handle.lock:
+                sendable = handle.alive
+                if sendable:
+                    for index, args in items:
+                        rid = next(self._rid)
+                        handle.pending[rid] = _BatchSlot(batch, index)
+                        wire.append((rid, op, args, {}))
+            if sendable and not handle.send(("q", wire)):
+                sendable = False
+                with handle.lock:
+                    for rid, _op, _args, _kw in wire:
+                        handle.pending.pop(rid, None)
+            if not sendable:
+                down = WorkerCrashedError(
+                    f"shard worker {handle.slot} died mid-batch; retry"
+                )
+                for index, _args in items:
+                    batch.put(index, False, down)
+        limit = self.SHARD_RPC_TIMEOUT_S if timeout is None else timeout
+        if not batch.event.wait(limit):
+            raise DeadlineExceededError(
+                f"bulk {op!r} over {len(calls)} calls did not complete "
+                f"within {limit}s"
+            )
+        n_ok = sum(batch.flags)
+        metrics.counter("completed").inc(n_ok)
+        metrics.counter("errors").inc(len(calls) - n_ok)
+        metrics.observe(op, time.monotonic() - start)
+        for flag, payload in zip(batch.flags, batch.results):
+            if not flag:
+                raise payload
+        return batch.results
+
+    # -- publish protocol ----------------------------------------------------
+
+    def _publish(self) -> None:
+        """Pack → announce → swap → bounded detach wait → GC.
+
+        Readers keep the previous epoch throughout; from the swap on,
+        requests route only to workers that confirmed the new epoch
+        (parent fallback covers the gap), so a publish is never a
+        correctness event — only a brief locality one.  Failures before
+        the swap leave the old epoch fully published (the inherited
+        write pipeline retries / degrades); failures of individual
+        workers leave *them* on their last-good epoch, repaired by the
+        supervisor.
+        """
+        snapshot = self._shardable_snapshot(self.warehouse)
+        t0 = time.monotonic()
+        payload = pack_snapshot_bytes(
+            snapshot.tree, snapshot.table, stamp=snapshot.stamp
+        )
+        self._metrics.observe("shard:pack", time.monotonic() - t0)
+        # The "crash between pack and announce" site: nothing is
+        # published yet, no segment exists — the inherited publish-phase
+        # retry / degraded-mode machinery owns what happens next.
+        self._fire("shard:publish")
+        shm = create_segment(payload)
+        epoch = self._epoch + 1
+        lsn = snapshot.stamp[0]
+        inject = self._attach_inject()
+        try:
+            with self._shard_lock:
+                live = [h for h in self._handles if h.alive]
+                expected = set()
+                ticket_event = threading.Event()
+                self._tickets[epoch] = (expected, ticket_event)
+                self._epoch = epoch
+                self._stamp = snapshot.stamp
+                self._epoch_segments[epoch] = shm.name
+                self._snapshot_bytes = len(payload)
+            now = time.monotonic()
+            for handle in live:
+                if handle.send(("publish", lsn, epoch, shm.name, inject)):
+                    with self._shard_lock:
+                        expected.add(handle.slot)
+                    handle.last_announce = now
+            with self._shard_lock:
+                if not expected:
+                    ticket_event.set()
+                    self._tickets.pop(epoch, None)
+        except BaseException:  # pragma: no cover - announce cannot raise
+            with self._shard_lock:
+                self._tickets.pop(epoch, None)
+            unlink_segment(shm.name)
+            raise
+        self._snapshot = snapshot  # atomic reference swap, as inherited
+        self._metrics.counter("snapshot_swaps").inc()
+        self._metrics.counter("shard_publishes").inc()
+        wait_start = time.monotonic()
+        ticket_event.wait(self.PUBLISH_ACK_TIMEOUT_S)
+        self._metrics.observe(
+            "shard:publish_detach_wait", time.monotonic() - wait_start
+        )
+        self._gc_segments()
+
+    def _attach_inject(self):
+        """Consume an armed ``shard:attach`` fault into a wire flag the
+        workers honor (the failure must happen *in* the worker so the
+        keep-last-good path is what's exercised)."""
+        try:
+            self._fire("shard:attach")
+        except BaseException:
+            return "attach"
+        return None
+
+    def _gc_segments(self) -> None:
+        """Unlink every segment no live worker is attached to (except
+        the current epoch's).  Safe against stragglers: POSIX keeps an
+        unlinked segment alive for processes that already mapped it."""
+        with self._shard_lock:
+            attached = {
+                h.attached_epoch for h in self._handles if h.alive
+            }
+            attached.add(self._epoch)
+            pending = set(self._tickets)
+            dead = [
+                (epoch, name)
+                for epoch, name in self._epoch_segments.items()
+                if epoch not in attached and epoch not in pending
+            ]
+            for epoch, _name in dead:
+                self._epoch_segments.pop(epoch, None)
+        for _epoch, name in dead:
+            unlink_segment(name)
+
+    # -- supervision (piggybacked on the inherited supervisor thread) --------
+
+    def _supervise_extra(self) -> None:
+        if self._procs_stopped:
+            return
+        now = time.monotonic()
+        respawn = []
+        reannounce = []
+        with self._shard_lock:
+            epoch = self._epoch
+            name = self._epoch_segments.get(epoch)
+            lsn = self._stamp[0]
+            for i, handle in enumerate(self._handles):
+                if handle.alive and not handle.proc.is_alive():
+                    with handle.lock:
+                        handle.alive = False
+                if not handle.alive:
+                    respawn.append(i)
+                elif (handle.attached_epoch < epoch
+                        and now - handle.last_announce
+                        > self.REANNOUNCE_INTERVAL_S):
+                    reannounce.append(handle)
+        for handle in reannounce:
+            # Repair a lagging worker: re-announce the current epoch
+            # (attach is idempotent worker-side).
+            if handle.send(("publish", lsn, epoch, name, None)):
+                handle.last_announce = now
+                self._metrics.counter("shard_reannounces").inc()
+        for i in respawn:
+            old = self._handles[i]
+            old.fail_pending(WorkerCrashedError(
+                f"shard worker process {i} died; retry"
+            ))
+            if old.receiver is not None and old.receiver.is_alive():
+                try:
+                    old.conn.close()
+                except OSError:
+                    pass
+                old.receiver.join(timeout=1.0)
+            old.proc.join(timeout=0)
+            try:
+                fresh = self._spawn_process(i)
+            except Exception:
+                continue  # segment gone or fork failed; retry next scan
+            self._start_receiver(fresh)
+            with self._shard_lock:
+                self._handles[i] = fresh
+            self._metrics.counter("shard_process_restarts").inc()
+        with self._shard_lock:
+            stale = len(self._epoch_segments) > 1
+        if respawn or stale:
+            # Respawns and re-announce convergence both strand old
+            # epochs' segments; sweep whenever more than the current
+            # epoch's segment is still registered.
+            self._gc_segments()
+
+    # -- health --------------------------------------------------------------
+
+    def shard_health(self) -> dict:
+        """The ``shard`` block of ``stats()``/``health``: fleet
+        liveness, per-worker attached epochs, restart/crash/fallback
+        counters, snapshot footprint, and the publish detach-wait
+        histogram.  See the README metrics glossary."""
+        with self._shard_lock:
+            handles = list(self._handles)
+            epoch = self._epoch
+            segments = len(self._epoch_segments)
+        counters = self._metrics
+        return {
+            "processes_configured": self._nprocs,
+            "processes_alive": sum(
+                1 for h in handles if h.alive and h.proc.is_alive()
+            ),
+            "process_restarts": counters.counter(
+                "shard_process_restarts").value,
+            "process_crashes": counters.counter(
+                "shard_process_crashes").value,
+            "attach_failures": counters.counter(
+                "shard_attach_failures").value,
+            "local_fallbacks": counters.counter(
+                "shard_local_fallbacks").value,
+            "reannounces": counters.counter("shard_reannounces").value,
+            "publishes": counters.counter("shard_publishes").value,
+            "current_epoch": epoch,
+            "workers": [
+                {
+                    "slot": h.slot,
+                    "pid": h.proc.pid,
+                    "alive": h.alive and h.proc.is_alive(),
+                    "attached_epoch": h.attached_epoch,
+                    "answered": h.answered,
+                }
+                for h in handles
+            ],
+            "snapshot_bytes": self._snapshot_bytes,
+            "segments": segments,
+            "publish_detach_wait_us": counters.histogram(
+                "shard:publish_detach_wait").snapshot(),
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _shutdown_processes(self) -> None:
+        with self._shard_lock:
+            if self._procs_stopped:
+                return
+            self._procs_stopped = True
+            handles = list(self._handles)
+        down = ServerClosedError("server shut down before request ran")
+        for handle in handles:
+            handle.send(("stop",))
+        deadline = time.monotonic() + 5.0
+        for handle in handles:
+            handle.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if handle.proc.is_alive():
+                handle.proc.terminate()
+                handle.proc.join(timeout=2.0)
+            with handle.lock:
+                handle.alive = False
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            handle.fail_pending(down)
+        for handle in handles:
+            if handle.receiver is not None:
+                handle.receiver.join(timeout=5.0)
+            # Release the process object's zombie bookkeeping.
+            try:
+                handle.proc.close()
+            except Exception:
+                pass
+
+    def _unlink_all_segments(self) -> None:
+        with self._shard_lock:
+            segments = list(self._epoch_segments.items())
+            self._epoch_segments.clear()
+        for _epoch, name in segments:
+            unlink_segment(name)
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Shut down the fleet, the inherited thread pool, and unlink
+        every shared segment.  Idempotent; afterwards no server thread,
+        worker process, or ``/dev/shm/qctree-*`` segment remains — the
+        shared-memory analogue of the no-leaked-threads guarantee."""
+        with self._lifecycle_lock:
+            already = self._closed
+        if not already:
+            # Fleet first: in-flight forwards fail fast instead of
+            # pinning worker threads on the RPC timeout during join.
+            self._shutdown_processes()
+        super().close(timeout)
+        self._unlink_all_segments()
+
+    def __repr__(self):
+        alive = sum(1 for h in self._handles if h.alive)
+        return (
+            f"ShardServer(processes={alive}/{self._nprocs}, "
+            f"epoch={self._epoch}, closed={self._closed})"
+        )

@@ -1,0 +1,150 @@
+"""Shard worker process: serve queries lock-free from an attached segment.
+
+Each worker is a forked child running :func:`worker_main` over one end
+of a duplex pipe.  It attaches the current shared-memory segment (a
+``QCTREE/3`` blob, see :mod:`repro.shard.pack`), wraps it in a
+:class:`~repro.serving.snapshot.ServingSnapshot`, and answers batches of
+requests against the server's snapshot op table — the same
+``_snapshot_op`` functions the thread-based server dispatches, so both
+serving modes share one query surface.
+
+Wire protocol (pickled tuples over ``multiprocessing.Pipe``):
+
+parent → worker
+    ``("q", [(rid, op, args, kwargs), ...])``
+        answer a batch; one reply message covers the whole batch.
+    ``("publish", lsn, epoch, segment_name, inject)``
+        attach the new segment, then release the old one.  On *any*
+        attach failure the worker keeps serving its last-good epoch and
+        reports ``pub_err`` — readers never lose a snapshot.
+        ``inject`` is a test hook: ``"attach"`` forces the failure path.
+    ``("stop",)``
+        detach, close, exit.
+
+worker → parent
+    ``("ready", pid, epoch)`` · ``("a", [(rid, ok, payload), ...])`` ·
+    ``("pub_ok", epoch)`` · ``("pub_err", epoch, reason)``
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import pickle
+
+from repro.errors import ServingError
+from repro.reliability.faults import InjectedFault
+from repro.shard.pack import attach_packed
+from repro.shard.segment import attach_segment
+
+
+def _snapshot_ops() -> dict:
+    from repro.serving.server import SNAPSHOT_OPS, _snapshot_op
+
+    return {name: _snapshot_op(name) for name in SNAPSHOT_OPS}
+
+
+def _picklable_error(exc):
+    """The exception itself when it survives pickling, else a
+    :class:`ServingError` carrying its repr."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return ServingError(f"worker error: {exc!r}")
+
+
+class _Attachment:
+    """One attached epoch: segment handle + packed snapshot views."""
+
+    def __init__(self, name: str, index_key):
+        self.name = name
+        self.shm = attach_segment(name)
+        try:
+            self.attached = attach_packed(self.shm.buf)
+            self.snapshot = self.attached.serving_snapshot(index_key=index_key)
+        except BaseException:
+            self.shm.close()
+            raise
+
+    def close(self) -> None:
+        self.attached.release()
+        self.attached = None
+        self.snapshot = None
+        # frombuffer arrays, cached views, and exception-traceback
+        # frames may still pin the mapping until collected; collect now
+        # so the detach below is the real one, not a __del__-time race.
+        gc.collect()
+        try:
+            self.shm.close()
+        except BufferError:
+            # A stray export still pins the mapping; the OS reclaims it
+            # when the process exits — never crash the worker over it.
+            pass
+
+
+def _answer_batch(ops, snapshot, batch) -> list:
+    """Answer one request batch.  A function so its locals (snapshot
+    reference, captured exception tracebacks) die on return instead of
+    pinning the old mapping across an epoch swap or shutdown."""
+    answers = []
+    for rid, op, args, kwargs in batch:
+        fn = ops.get(op)
+        try:
+            if fn is None:
+                raise ServingError(
+                    f"op {op!r} is not a snapshot op; custom "
+                    "ops run in the router process"
+                )
+            answers.append((rid, True, fn(snapshot, *args, **kwargs)))
+        except Exception as exc:
+            answers.append((rid, False, _picklable_error(exc)))
+    return answers
+
+
+def worker_main(conn, segment_name: str, lsn: int, epoch: int,
+                index_key=None) -> None:
+    """Entry point of a shard worker process (runs until ``stop``/EOF)."""
+    ops = _snapshot_ops()
+    current = _Attachment(segment_name, index_key)
+    current.snapshot.stamp = (lsn, epoch)
+    attached_epoch = epoch
+    try:
+        conn.send(("ready", os.getpid(), attached_epoch))
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "q":
+                conn.send(
+                    ("a", _answer_batch(ops, current.snapshot, message[1]))
+                )
+            elif kind == "publish":
+                _, new_lsn, new_epoch, new_name, inject = message
+                try:
+                    if inject == "attach":
+                        raise InjectedFault(
+                            "injected fault at shard:attach"
+                        )
+                    fresh = _Attachment(new_name, index_key)
+                except Exception as exc:
+                    conn.send(("pub_err", new_epoch, repr(exc)))
+                else:
+                    fresh.snapshot.stamp = (new_lsn, new_epoch)
+                    old = current
+                    current = fresh
+                    attached_epoch = new_epoch
+                    old.close()
+                    conn.send(("pub_ok", new_epoch))
+            elif kind == "stop":
+                break
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+    finally:
+        current.close()
+        try:
+            conn.close()
+        except OSError:
+            pass

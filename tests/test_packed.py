@@ -1,0 +1,249 @@
+"""QCTREE/3 packed-snapshot codec: zero-copy attach ≡ frozen tree.
+
+The contract under test: ``pack_snapshot_bytes`` of a frozen serving
+snapshot, attached via ``attach_packed`` (shared memory semantics) or
+``attach_packed_file`` (mmap), answers every traversal-protocol and
+fast-path question identically to the :class:`FrozenQCTree` it was
+packed from — and the v3 byte format round-trips through the generic
+``load_qctree_from`` loader in both freeze modes.
+"""
+
+from __future__ import annotations
+
+import mmap
+from array import array
+
+import pytest
+
+from repro.core.cells import ALL
+from repro.core.serialize import (
+    SerializationError,
+    load_qctree_from,
+    save_qctree,
+    save_qctree_packed,
+)
+from repro.core.warehouse import QCWarehouse
+from repro.shard.pack import (
+    PackedQCTree,
+    attach_packed,
+    attach_packed_file,
+    pack_snapshot_bytes,
+    packed_to_document,
+)
+
+from .conftest import all_cells, approx_equal, make_random_table
+
+
+@pytest.fixture
+def snapshot(sales_table):
+    return QCWarehouse(sales_table, aggregate="avg(Sale)").snapshot_view()
+
+
+@pytest.fixture
+def attached(snapshot):
+    payload = pack_snapshot_bytes(
+        snapshot.tree, snapshot.table, stamp=(3, 7)
+    )
+    att = attach_packed(payload)
+    yield att
+    att.release()
+
+
+def assert_trees_equivalent(packed, frozen, table):
+    """Full query-surface parity between a packed and a frozen tree."""
+    assert packed.signature() == frozen.signature()
+    for cell in all_cells(table):
+        assert approx_equal(
+            packed._point_query(cell), frozen._point_query(cell)
+        ), cell
+
+
+class TestPackAttachParity:
+    def test_attached_is_packed_tree(self, attached):
+        assert isinstance(attached.tree, PackedQCTree)
+        assert attached.stamp == (3, 7)
+        assert attached.nbytes > 0
+
+    def test_point_parity_every_cell(self, attached, snapshot):
+        assert_trees_equivalent(
+            attached.tree, snapshot.tree, snapshot.table
+        )
+
+    def test_structural_stats_match(self, attached, snapshot):
+        packed, frozen = attached.tree.stats(), snapshot.tree.stats()
+        for key in ("nodes", "links", "classes"):
+            assert packed[key] == frozen[key]
+
+    def test_traversal_protocol_matches(self, attached, snapshot):
+        packed, frozen = attached.tree, snapshot.tree
+        assert sorted(packed.iter_nodes()) == sorted(
+            range(len(list(frozen.iter_nodes())))
+        )
+        assert len(list(packed.iter_links())) == len(
+            list(frozen.iter_links())
+        )
+        assert len(list(packed.iter_class_nodes())) == len(
+            list(frozen.iter_class_nodes())
+        )
+
+    def test_upper_bounds_match(self, attached, snapshot):
+        packed, frozen = attached.tree, snapshot.tree
+        packed_ubs = sorted(
+            (packed.upper_bound_of(n) for n in packed.iter_class_nodes()),
+            key=repr,
+        )
+        frozen_ubs = sorted(
+            (frozen.upper_bound_of(n) for n in frozen.iter_class_nodes()),
+            key=repr,
+        )
+        assert packed_ubs == frozen_ubs
+
+    def test_table_round_trips(self, attached, snapshot):
+        table = attached.table
+        assert table.n_rows == snapshot.table.n_rows
+        assert list(table.rows) == list(snapshot.table.rows)
+        assert table.decode_value(0, 0) == snapshot.table.decode_value(0, 0)
+        for i in range(table.n_rows):
+            assert approx_equal(
+                tuple(table.measures[i]), tuple(snapshot.table.measures[i])
+            )
+
+    def test_attached_measures_are_read_only(self, attached):
+        with pytest.raises(ValueError):
+            attached.table.measures[0, 0] = 99.0
+
+    @pytest.mark.parametrize("seed", [1, 7, 23, 61])
+    def test_random_tables_parity(self, seed):
+        table = make_random_table(seed, n_rows=30)
+        snapshot = QCWarehouse(table, aggregate="sum(m)").snapshot_view()
+        payload = pack_snapshot_bytes(snapshot.tree, snapshot.table)
+        att = attach_packed(payload)
+        try:
+            assert_trees_equivalent(att.tree, snapshot.tree, table)
+        finally:
+            att.release()
+
+    def test_release_drops_buffer_exports(self, snapshot):
+        payload = bytearray(
+            pack_snapshot_bytes(snapshot.tree, snapshot.table)
+        )
+        att = attach_packed(payload)
+        att.tree._point_query((ALL,) * snapshot.table.n_dims)
+        att.release()
+        del att
+        # A writable source buffer can only be resized once every
+        # exported view is gone — the hygiene property shm close needs.
+        payload += b"x"
+
+    def test_mutable_rebuild_is_equivalent(self, attached, snapshot):
+        from repro.core.serialize import _tree_from_document
+
+        rebuilt = _tree_from_document(packed_to_document(attached))
+        assert rebuilt.equivalent_to(snapshot.tree)
+
+
+class TestV3Format:
+    def test_header_magic(self, snapshot):
+        payload = pack_snapshot_bytes(snapshot.tree, snapshot.table)
+        assert payload.startswith(b"QCTREE/3 crc32=")
+
+    def test_deterministic_bytes(self, snapshot):
+        one = pack_snapshot_bytes(snapshot.tree, snapshot.table)
+        two = pack_snapshot_bytes(snapshot.tree, snapshot.table)
+        assert one == two
+
+    def test_save_load_frozen_mode(self, snapshot, tmp_path):
+        path = tmp_path / "packed.qct3"
+        save_qctree_packed(snapshot.tree, path, table=snapshot.table)
+        tree = load_qctree_from(path, freeze=True)
+        assert isinstance(tree, PackedQCTree)
+        assert tree.signature() == snapshot.tree.signature()
+
+    def test_save_load_mutable_mode(self, snapshot, tmp_path):
+        path = tmp_path / "packed.qct3"
+        save_qctree_packed(snapshot.tree, path, table=snapshot.table)
+        tree = load_qctree_from(path, freeze=False)
+        assert not isinstance(tree, PackedQCTree)
+        assert tree.equivalent_to(snapshot.tree)
+
+    def test_attach_packed_file_mmap(self, snapshot, tmp_path):
+        path = tmp_path / "packed.qct3"
+        save_qctree_packed(snapshot.tree, path, table=snapshot.table)
+        att = attach_packed_file(path)
+        try:
+            assert_trees_equivalent(
+                att.tree, snapshot.tree, snapshot.table
+            )
+        finally:
+            att.release()
+
+    def test_crc_detects_corruption(self, snapshot, tmp_path):
+        path = tmp_path / "packed.qct3"
+        save_qctree_packed(snapshot.tree, path, table=snapshot.table)
+        blob = bytearray(path.read_bytes())
+        blob[-3] ^= 0xFF  # flip a bit deep in the body
+        path.write_bytes(blob)
+        with pytest.raises(SerializationError, match="checksum"):
+            attach_packed_file(path)
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(SerializationError):
+            attach_packed(b"QCTREE/3 crc32=deadbeef")
+        with pytest.raises(SerializationError):
+            attach_packed(b"\x00" * 64)
+
+    def test_v2_file_still_loads(self, sales_table, tmp_path):
+        warehouse = QCWarehouse(sales_table, aggregate="avg(Sale)")
+        path = tmp_path / "legacy.qct"
+        save_qctree(warehouse.tree, path)
+        tree = load_qctree_from(path)
+        assert tree.equivalent_to(warehouse.tree)
+
+    def test_frozen_pack_method(self, snapshot):
+        payload = snapshot.tree.pack(snapshot.table, stamp=(1, 2))
+        att = attach_packed(payload)
+        try:
+            assert att.stamp == (1, 2)
+            assert att.tree.signature() == snapshot.tree.signature()
+        finally:
+            att.release()
+
+    def test_attach_from_mmap_object(self, snapshot, tmp_path):
+        path = tmp_path / "packed.qct3"
+        save_qctree_packed(snapshot.tree, path, table=snapshot.table)
+        with open(path, "rb") as fp:
+            with mmap.mmap(fp.fileno(), 0, access=mmap.ACCESS_READ) as mm:
+                att = attach_packed(mm, verify=True)
+                try:
+                    cell = (ALL,) * snapshot.table.n_dims
+                    assert approx_equal(
+                        att.tree._point_query(cell),
+                        snapshot.tree._point_query(cell),
+                    )
+                finally:
+                    att.release()
+
+
+class TestServingSnapshotBridge:
+    def test_serving_snapshot_answers(self, attached, snapshot):
+        serving = attached.serving_snapshot()
+        n = snapshot.table.n_dims
+        assert approx_equal(
+            serving.point((ALL,) * n), snapshot.point((ALL,) * n)
+        )
+        assert serving.stamp == (3, 7)
+
+    def test_writes_not_supported_on_packed(self, attached):
+        # The packed view is immutable by construction: it has no
+        # mutation surface at all.
+        assert not hasattr(attached.tree, "insert")
+        assert not hasattr(attached.tree, "set_state")
+
+
+class TestPackedRowsView:
+    def test_slice_negative_and_iter(self, attached):
+        rows = attached.table.rows
+        assert len(rows) == 3
+        assert rows[-1] == rows[2]
+        assert list(rows[1:]) == [rows[1], rows[2]]
+        assert [r for r in rows] == [rows[0], rows[1], rows[2]]

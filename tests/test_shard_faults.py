@@ -1,0 +1,206 @@
+"""Publish-protocol fault injection for the multi-process ShardServer.
+
+Each test drives one failure shape through the shard-specific fault
+sites (``shard:publish``, ``shard:attach``) or a hard worker-process
+kill, and asserts the protocol's promise: readers keep serving the
+last-good epoch, the supervisor converges the fleet back to the
+current epoch, and no ``/dev/shm`` segment outlives the server.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.warehouse import QCWarehouse
+from repro.errors import ServerDegradedError, WorkerCrashedError
+from repro.reliability.faults import InjectedCrash, ServingFaults
+from repro.serving.retry import RetryPolicy
+from repro.shard import ShardServer, created_segments
+
+RECORD = ("S3", "P1", "s", 5.0)
+
+
+@pytest.fixture
+def warehouse(sales_table):
+    return QCWarehouse(sales_table, aggregate="avg(Sale)")
+
+
+@pytest.fixture
+def faults():
+    return ServingFaults()
+
+
+@pytest.fixture
+def server(warehouse, faults):
+    srv = ShardServer(warehouse, processes=2, faults=faults,
+                      supervise_interval=0.02, cache_size=0)
+    yield srv
+    srv.close()
+    assert created_segments() == []
+
+
+def wait_until(predicate, timeout_s: float = 10.0) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+def fleet_converged(server) -> bool:
+    shard = server.shard_health()
+    return (shard["processes_alive"] == shard["processes_configured"]
+            and all(w["alive"]
+                    and w["attached_epoch"] == shard["current_epoch"]
+                    for w in shard["workers"]))
+
+
+def retrying_point(server, cell, attempts: int = 20):
+    """Query through worker deaths: WorkerCrashedError is retryable by
+    contract (the read never ran)."""
+    for _ in range(attempts):
+        try:
+            return server.point(cell)
+        except WorkerCrashedError:
+            time.sleep(0.02)
+    return server.point(cell)
+
+
+class TestWorkerKill:
+    def test_killed_worker_is_respawned(self, server):
+        victim = server.shard_health()["workers"][0]["pid"]
+        os.kill(victim, signal.SIGKILL)
+        assert wait_until(
+            lambda: server.shard_health()["process_crashes"] >= 1
+        )
+        assert wait_until(lambda: fleet_converged(server))
+        shard = server.shard_health()
+        assert shard["process_restarts"] >= 1
+        assert shard["process_crashes"] >= 1
+        assert victim not in [w["pid"] for w in shard["workers"]]
+        assert retrying_point(server, ("S2", "*", "f")) == 9.0
+
+    def test_kill_mid_swap_converges(self, server):
+        """A worker dying during a publish must not wedge the protocol:
+        the publish completes, the respawned worker attaches the new
+        epoch, answers reflect the write."""
+        victim = server.shard_health()["workers"][1]["pid"]
+        os.kill(victim, signal.SIGKILL)
+        server.insert([RECORD])  # publish races the death + respawn
+        assert retrying_point(server, ("S3", "P1", "s")) == 5.0
+        assert wait_until(lambda: fleet_converged(server))
+        assert server.shard_health()["current_epoch"] == 2
+        assert retrying_point(server, ("S3", "P1", "s")) == 5.0
+
+    def test_whole_fleet_down_falls_back_to_parent(self, server):
+        victims = [w["pid"] for w in server.shard_health()["workers"]]
+        for pid in victims:
+            os.kill(pid, signal.SIGKILL)
+
+        def answered():
+            # Until the pipe EOF is observed a routed request may fail
+            # with the retryable WorkerCrashedError; once the fleet is
+            # known-dead the parent answers from its own snapshot.
+            try:
+                return server.point(("S2", "*", "f")) == 9.0
+            except WorkerCrashedError:
+                return False
+
+        assert wait_until(answered, timeout_s=5.0)
+        assert wait_until(lambda: fleet_converged(server))
+        assert server.shard_health()["local_fallbacks"] >= 0
+
+    def test_retry_policy_masks_worker_death(self, server):
+        retry = RetryPolicy(max_attempts=6, base_delay_s=0.01)
+        victim = server.shard_health()["workers"][0]["pid"]
+        os.kill(victim, signal.SIGKILL)
+        value = retry.call(lambda: server.point(("S2", "*", "f")))
+        assert value == 9.0
+
+
+class TestPublishCrash:
+    def test_crash_between_pack_and_announce_retries(
+            self, server, faults):
+        faults.arm("shard:publish", times=1, exc=InjectedCrash)
+        server.insert([RECORD])
+        counters = server.stats()["counters"]
+        assert counters["publish_retries"] == 1
+        assert retrying_point(server, ("S3", "P1", "s")) == 5.0
+        assert wait_until(lambda: fleet_converged(server))
+        # The failed attempt's segment was not leaked: only epochs
+        # still referenced remain registered.
+        assert wait_until(lambda: len(created_segments()) <= 2)
+
+    def test_persistent_crash_degrades_readers_keep_last_good(
+            self, server, faults):
+        before = server.point(("*", "*", "*"))
+        faults.arm("shard:publish", times=None, exc=InjectedCrash)
+        with pytest.raises(ServerDegradedError):
+            server.insert([RECORD])
+        assert server.write_degraded
+        # Readers — including the worker fleet — keep the last-good
+        # epoch and keep answering.
+        assert server.shard_health()["current_epoch"] == 1
+        assert retrying_point(server, ("*", "*", "*")) == before
+        assert retrying_point(server, ("S3", "P1", "s")) is None
+        # Fault clears: recovery publishes the stuck write to the fleet.
+        faults.disarm("shard:publish")
+        assert server.recover() is True
+        assert retrying_point(server, ("S3", "P1", "s")) == 5.0
+        assert wait_until(lambda: fleet_converged(server))
+        assert server.shard_health()["current_epoch"] == 2
+
+
+class TestAttachFailure:
+    def test_failed_attach_keeps_last_good_until_reannounce(
+            self, server, faults):
+        faults.arm("shard:attach", times=1, exc=InjectedCrash)
+        server.insert([RECORD])
+        # The parent's swap is unaffected: answers reflect the write
+        # immediately (local fallback covers unconverged workers).
+        assert retrying_point(server, ("S3", "P1", "s")) == 5.0
+        shard = server.shard_health()
+        assert shard["current_epoch"] == 2
+        assert shard["attach_failures"] >= 1
+        # The supervisor re-announces until every worker converges.
+        assert wait_until(lambda: fleet_converged(server))
+        assert server.shard_health()["reannounces"] >= 1
+        assert retrying_point(server, ("S3", "P1", "s")) == 5.0
+
+    def test_repeated_attach_failures_eventually_converge(
+            self, server, faults):
+        faults.arm("shard:attach", times=3, exc=InjectedCrash)
+        for i, record in enumerate(
+                [RECORD, ("S4", "P1", "s", 7.0), ("S5", "P2", "f", 2.0)]):
+            server.insert([record])
+            assert retrying_point(server, record[:3]) == record[3]
+        assert wait_until(lambda: fleet_converged(server))
+        shard = server.shard_health()
+        assert shard["current_epoch"] == 4
+        assert shard["attach_failures"] >= 3
+        # Convergence also releases the superseded segments.
+        assert wait_until(lambda: len(created_segments()) == 1)
+
+
+class TestLedgerUnderFaults:
+    def test_ledger_balances_through_chaos(self, server, faults):
+        faults.arm("shard:attach", times=1, exc=InjectedCrash)
+        victim = server.shard_health()["workers"][0]["pid"]
+        server.insert([RECORD])
+        os.kill(victim, signal.SIGKILL)
+        for _ in range(20):
+            try:
+                server.point(("S3", "P1", "s"))
+            except WorkerCrashedError:
+                pass
+        assert wait_until(lambda: fleet_converged(server))
+        counters = server.stats()["counters"]
+        assert counters["submitted"] == (
+            counters["completed"] + counters["timeouts"]
+            + counters["errors"] + counters["cancelled"]
+        ), counters

@@ -1,0 +1,311 @@
+"""ShardServer behavior: multi-process serving, routing, hygiene.
+
+The multi-process server must present exactly the thread server's
+surface (same ops, same answers, same stats ledger) while running reads
+in forked worker processes over one shared-memory snapshot — and must
+leave *nothing* behind on shutdown: no threads, no processes, and no
+``/dev/shm/qctree-*`` segments (the shared-memory analogue of the
+``leaked_threads`` guard).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.cells import ALL
+from repro.core.warehouse import QCWarehouse
+from repro.errors import QueryError, ServerClosedError, ServingError
+from repro.shard import (
+    ShardRouter,
+    ShardServer,
+    active_segments,
+    created_segments,
+)
+
+from .conftest import approx_equal
+
+
+@pytest.fixture
+def warehouse(sales_table):
+    return QCWarehouse(sales_table, aggregate="avg(Sale)")
+
+
+@pytest.fixture
+def server(warehouse):
+    srv = ShardServer(warehouse, processes=2, queue_size=32)
+    yield srv
+    srv.close()
+    assert created_segments() == []
+
+
+def wait_until(predicate, timeout_s: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestQueries:
+    def test_point_range_iceberg(self, server):
+        assert server.point(("S2", "*", "f")) == 9.0
+        assert server.range((["S1", "S2"], "*", "s")) == {
+            ("S1", "*", "s"): 9.0
+        }
+        results = dict(server.iceberg(9.0))
+        assert results[("S1", "P2", "s")] == 12.0
+
+    def test_exploration_ops_match_warehouse(self, server, warehouse):
+        cell = ("S2", "P1", "f")
+        for op, method in [
+            ("rollup", warehouse.rollup),
+            ("rollups", warehouse.rollups),
+            ("drilldowns", warehouse.drilldowns),
+            ("rollup_exceptions", warehouse.rollup_exceptions),
+            ("open_class", warehouse.open_class),
+            ("class_of", warehouse.class_of),
+        ]:
+            assert server.query(op, cell) == method(cell)
+
+    def test_answers_come_from_worker_processes(self, server):
+        # Uncached distinct cells must travel the pipe, not the parent.
+        for product in ("P1", "P2"):
+            server.point(("S1", product, "s"))
+        shard = server.shard_health()
+        assert sum(w["answered"] for w in shard["workers"]) >= 2
+
+    def test_worker_error_propagates(self, server):
+        with pytest.raises(QueryError):
+            server.query("rollup", ("S1", "P1", "f"))  # not a class cell
+
+    def test_register_op_runs_parent_side(self, server):
+        server.register_op("n_rows", lambda snap: snap.describe()["n_rows"])
+        answered_before = sum(
+            w["answered"] for w in server.shard_health()["workers"]
+        )
+        assert server.query("n_rows") == 3
+        answered_after = sum(
+            w["answered"] for w in server.shard_health()["workers"]
+        )
+        assert answered_after == answered_before
+
+    def test_cache_still_works(self, server):
+        for _ in range(3):
+            server.point(("S2", "*", "f"))
+        assert server.stats()["cache"]["hits"] >= 2
+
+
+class TestWrites:
+    def test_insert_publishes_new_epoch_to_fleet(self, server):
+        assert server.point(("S3", "P1", "s")) is None
+        server.insert([("S3", "P1", "s", 5.0)])
+        assert server.point(("S3", "P1", "s")) == 5.0
+        shard = server.shard_health()
+        assert shard["current_epoch"] == 2
+        assert shard["publishes"] == 1
+        assert wait_until(lambda: all(
+            w["attached_epoch"] == 2
+            for w in server.shard_health()["workers"]
+        ))
+
+    def test_old_segments_are_garbage_collected(self, server):
+        for i in range(3):
+            server.insert([(f"S{i + 4}", "P1", "s", 1.0)])
+        assert wait_until(lambda: all(
+            w["attached_epoch"] == 4
+            for w in server.shard_health()["workers"]
+        ))
+        server.insert([("S9", "P1", "s", 1.0)])
+        # Only the current epoch's segment should remain registered.
+        assert wait_until(lambda: len(created_segments()) == 1)
+
+    def test_delete_matches_thread_server(self, server):
+        server.delete([("S1", "P2", "s", 12.0)])
+        assert server.point(("S1", "P2", "s")) is None
+        assert server.point(("*", "*", "*")) == 7.5
+
+
+class TestMapQuery:
+    def test_results_in_input_order(self, server, warehouse):
+        cells = [("S1", "P1", "s"), ("S2", "P1", "f"),
+                 ("S1", "*", "*"), ("*", "*", "*"),
+                 ("S1", "P2", "s"), ("missing", "P1", "s")]
+        # An unknown label is a "no such cell" → None, not an error.
+        expected = [warehouse.point(c) for c in cells[:-1]] + [None]
+        got = server.map_query("point", [(c,) for c in cells])
+        assert all(approx_equal(g, e) for g, e in zip(got, expected))
+
+    def test_bulk_keeps_ledger_balanced(self, server):
+        calls = [(("S1", "P1", "s"),)] * 10
+        server.map_query("point", calls)
+        counters = server.stats()["counters"]
+        assert counters["submitted"] >= 10
+        assert counters["submitted"] == (
+            counters["completed"] + counters["timeouts"]
+            + counters["errors"] + counters["cancelled"]
+        )
+
+    def test_non_snapshot_op_rejected(self, server):
+        with pytest.raises(QueryError, match="map_query"):
+            server.map_query("stats", [()])
+
+    def test_spreads_across_fleet(self, server):
+        cells = [(f"S{i}", "P1", "s") for i in range(40)]
+        server.map_query("point", [(c,) for c in cells])
+        answered = [w["answered"] for w in server.shard_health()["workers"]]
+        assert all(a > 0 for a in answered)
+
+
+class TestStatsAndHealth:
+    def test_stats_has_shard_block(self, server):
+        shard = server.stats()["shard"]
+        assert shard["processes_configured"] == 2
+        assert shard["processes_alive"] == 2
+        assert shard["process_restarts"] == 0
+        assert shard["current_epoch"] == 1
+        assert shard["snapshot_bytes"] > 0
+        assert len(shard["workers"]) == 2
+        for worker in shard["workers"]:
+            assert worker["alive"]
+            assert worker["attached_epoch"] == 1
+        assert "publish_detach_wait_us" in shard
+
+    def test_health_report_has_shard_block(self, server):
+        from repro.serving.health import health_report
+
+        report = health_report(server)
+        assert report["status"] == "ok"
+        assert report["shard"]["processes_alive"] == 2
+
+    def test_shard_phase_histograms_after_publish(self, server):
+        server.insert([("S3", "P1", "s", 5.0)])
+        phases = server.stats()["shard_phases"]
+        assert phases["pack"]["count"] >= 1
+        assert phases["publish_detach_wait"]["count"] >= 1
+
+
+class TestConstruction:
+    def test_rejects_zero_processes(self, warehouse):
+        with pytest.raises(ValueError):
+            ShardServer(warehouse, processes=0)
+
+    def test_rejects_dict_engine_warehouse(self, sales_table):
+        warehouse = QCWarehouse(
+            sales_table, aggregate="avg(Sale)", serve_frozen=False
+        )
+        with pytest.raises(ServingError, match="frozen"):
+            ShardServer(warehouse, processes=1)
+        assert created_segments() == []
+
+    def test_closed_server_rejects_queries(self, warehouse):
+        server = ShardServer(warehouse, processes=1)
+        server.close()
+        with pytest.raises(ServerClosedError):
+            server.point(("S1", "P1", "s"))
+        with pytest.raises(ServerClosedError):
+            server.map_query("point", [(("S1", "P1", "s"),)])
+
+
+class TestRouter:
+    def test_prefix_key_bound_first_dimension(self):
+        assert ShardRouter.prefix_key("point", (("S1", "*", "f"),)) == "S1"
+        assert ShardRouter.prefix_key("range", ((3, ALL),)) == 3
+
+    def test_prefix_key_unbound_cases(self):
+        assert ShardRouter.prefix_key("point", (("*", "P1"),)) is None
+        assert ShardRouter.prefix_key("point", ((ALL, "P1"),)) is None
+        assert ShardRouter.prefix_key("range", ((["S1", "S2"], "*"),)) is None
+        assert ShardRouter.prefix_key("iceberg", (9.0,)) is None
+        assert ShardRouter.prefix_key("point", ()) is None
+
+    def test_prefixed_requests_are_sticky(self):
+        router = ShardRouter()
+        slots = {
+            router.slot("point", (("S1", "*", "f"),), 4) for _ in range(10)
+        }
+        assert len(slots) == 1
+
+    def test_sticky_slot_is_seed_independent(self):
+        assert ShardRouter(seed=0).slot(
+            "point", (("S1",),), 4
+        ) == ShardRouter(seed=99).slot("point", (("S1",),), 4)
+
+    def test_unprefixed_requests_round_robin(self):
+        router = ShardRouter()
+        slots = [router.slot("iceberg", (9.0,), 4) for _ in range(8)]
+        assert slots == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+class TestHygiene:
+    def test_close_leaves_nothing(self, warehouse):
+        server = ShardServer(warehouse, processes=2)
+        server.point(("S1", "P1", "s"))
+        server.insert([("S3", "P1", "s", 5.0)])
+        procs = [h.proc for h in server._handles]
+        server.close()
+        server.close()  # idempotent
+        assert created_segments() == []
+        assert active_segments() == []
+        for proc in procs:
+            # close() released the Process object entirely.
+            with pytest.raises(ValueError):
+                proc.is_alive()
+        assert not [
+            t for t in threading.enumerate()
+            if t.name.startswith(server.name)
+        ]
+
+    def test_context_manager_cleans_up(self, warehouse):
+        with ShardServer(warehouse, processes=1) as server:
+            assert server.point(("S2", "*", "f")) == 9.0
+        assert created_segments() == []
+
+    def test_sigterm_leaves_no_segments(self, tmp_path):
+        """A supervisor SIGTERM must not leave /dev/shm litter."""
+        script = tmp_path / "serve_until_term.py"
+        script.write_text(
+            "import signal, sys\n"
+            "from repro.core.warehouse import QCWarehouse\n"
+            "from repro.cube.schema import Schema\n"
+            "from repro.cube.table import BaseTable\n"
+            "from repro.shard import ShardServer, install_signal_cleanup\n"
+            "schema = Schema(dimensions=('A', 'B'), measures=('m',))\n"
+            "table = BaseTable.from_records(\n"
+            "    [('a1', 'b1', 1.0), ('a2', 'b2', 2.0)], schema)\n"
+            "install_signal_cleanup()\n"
+            "server = ShardServer(QCWarehouse(table, aggregate='sum(m)'),\n"
+            "                     processes=2)\n"
+            "print('READY', flush=True)\n"
+            "signal.pause()\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), os.pardir, "src")]
+            + env.get("PYTHONPATH", "").split(os.pathsep)
+        )
+        proc = subprocess.Popen(
+            [sys.executable, str(script)], env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "READY"
+            mine = [s for s in active_segments()
+                    if s.startswith(f"qctree-{proc.pid}-")]
+            assert mine, "server should have published a segment"
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=10)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        leftovers = [s for s in active_segments()
+                     if s.startswith(f"qctree-{proc.pid}-")]
+        assert leftovers == []
