@@ -1,0 +1,317 @@
+"""Open-loop async serving benchmark — latency vs offered load.
+
+Not a paper figure: this benchmark measures the asyncio TCP front door
+(:mod:`repro.serving.async_server`) the way production SLOs are stated,
+with a true open-loop arrival process (:mod:`repro.serving.arrivals`)
+that is immune to coordinated omission: send instants are fixed up
+front by a seeded schedule, and latency is measured from the scheduled
+send instant — a stalled server piles delay into the recorded tail
+instead of quietly slowing the generator.
+
+Phases:
+
+1. **Capacity probe** — offered load far above capacity; the achieved
+   throughput under full shedding is the transport's service capacity
+   on this host.
+2. **Latency-vs-offered-load curve** — open-loop runs at ~0.5×, ~0.9×,
+   and ~1.5× the probed capacity (plus the probe itself), reporting
+   p50/p99/p999 per op family (point / range / iceberg).  The hockey
+   stick between 0.9× and 1.5× is the queueing-theory signature the
+   closed-loop BENCH files cannot show.
+3. **Async≡sync parity** — a seeded random program over all op
+   families, answered over TCP and through ``QCServer.submit``
+   directly; the mismatch count must be zero.
+4. **Chaos** — the same open-loop traffic while a seeded
+   :class:`~repro.reliability.faults.ChaosMonkey` kills workers,
+   crashes write phases, and injects op faults; the run passes if the
+   admission ledger still balances and the transport drains cleanly.
+
+Results go to ``BENCH_async.json`` at the repo root (committed, so the
+trajectory is diffable PR over PR).  Exit status is non-zero if parity
+finds any mismatch or any phase leaves the ledger unbalanced — CI runs
+this as the open-loop smoke.  ``--quick`` / ``REPRO_BENCH_QUICK=1``
+scales down for smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+
+from common import print_table, synth
+from repro.core.warehouse import QCWarehouse
+from repro.reliability.faults import ChaosMonkey, ServingFaults
+from repro.serving import (
+    ArrivalSchedule,
+    AsyncServerThread,
+    LineClient,
+    QCServer,
+    protocol,
+    request_plan,
+    run_open_loop_tcp,
+)
+
+OUT_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_async.json"
+)
+
+FULL = dict(n_rows=2000, n_dims=4, card=12,
+            n_requests=3000, probe_rate=50_000.0, connections=4,
+            parity_queries=300, chaos_requests=1200, chaos_rate_frac=0.6)
+QUICK = dict(n_rows=400, n_dims=3, card=8,
+             n_requests=400, probe_rate=20_000.0, connections=2,
+             parity_queries=60, chaos_requests=200, chaos_rate_frac=0.6)
+
+
+def _quick_from_env() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def _family_curve(report) -> dict:
+    """The per-family percentile readout a latency-vs-load curve keeps."""
+    return {
+        family: {
+            "count": bucket["count"],
+            "ok": bucket["ok"],
+            "shed": bucket["shed"],
+            "timeouts": bucket["timeout"],
+            "p50_us": bucket["latency"]["p50_us"],
+            "p99_us": bucket["latency"]["p99_us"],
+            "p999_us": bucket["latency"]["p999_us"],
+        }
+        for family, bucket in report["families"].items()
+    }
+
+
+def _ledger(server) -> dict:
+    counters = server.stats()["counters"]
+    balanced = counters["submitted"] == (
+        counters["completed"] + counters["timeouts"]
+        + counters["errors"] + counters["cancelled"]
+    )
+    return {
+        "submitted": counters["submitted"],
+        "completed": counters["completed"],
+        "timeouts": counters["timeouts"],
+        "errors": counters["errors"],
+        "cancelled": counters["cancelled"],
+        "shed": counters["shed"],
+        "balanced": balanced,
+    }
+
+
+def open_loop_point(handle, plan, rate, config, seed=0, kind="poisson"):
+    schedule = ArrivalSchedule(rate, len(plan), kind=kind, seed=seed)
+    report = run_open_loop_tcp(
+        handle.host, handle.port, plan, schedule,
+        connections=config["connections"], warmup=8,
+    )
+    return report
+
+
+def parity_phase(table, server, handle, n_queries: int, seed=41) -> dict:
+    """Seeded random program over TCP vs direct submit; count mismatches."""
+    rng = random.Random(seed)
+    client = LineClient(handle.host, handle.port)
+    mismatches = []
+    checked = 0
+    inserted = []
+    try:
+        for _ in range(n_queries):
+            roll = rng.random()
+            cell = ",".join(
+                "*" if rng.random() < 0.4 else
+                str(table.decode_value(j, rng.randrange(
+                    max(1, table.cardinality(j)))))
+                for j in range(table.n_dims)
+            )
+            if roll < 0.45:
+                line = f"point {cell}"
+            elif roll < 0.6:
+                line = "range " + cell
+            elif roll < 0.7:
+                line = f"iceberg {rng.randint(1, 5)} >="
+            elif roll < 0.9:
+                line = (f"{rng.choice(['rollup', 'rollups', 'drilldowns', 'class', 'open', 'rollup_exceptions'])}"
+                        f" {cell}")
+            elif inserted and rng.random() < 0.5:
+                line = f"delete {inserted.pop()}"
+            else:
+                record = ",".join(
+                    str(table.decode_value(j, rng.randrange(
+                        max(1, table.cardinality(j)))))
+                    for j in range(table.n_dims)
+                ) + ",1.0"
+                inserted.append(record)
+                line = f"insert {record}"
+            got = client.call(line)
+            parsed = protocol.parse_line(line, n_dims=table.n_dims)
+            try:
+                if parsed.kind == "write":
+                    getattr(server, parsed.command)([parsed.args[0]])
+                    want = protocol.format_response(parsed, None)
+                else:
+                    value = server.submit(parsed.op, *parsed.args).result()
+                    want = protocol.format_response(parsed, value)
+            except Exception as exc:
+                want = protocol.format_error(exc)
+            checked += 1
+            if got.startswith("error:"):
+                if got.split(":")[1] != want.split(":")[1]:
+                    mismatches.append({"line": line, "got": got,
+                                       "want": want})
+            elif got != want:
+                mismatches.append({"line": line, "got": got, "want": want})
+    finally:
+        client.close()
+    return {"checked": checked, "mismatches": len(mismatches),
+            "examples": mismatches[:5]}
+
+
+def chaos_phase(table, server, faults, handle, config, capacity) -> dict:
+    """Open-loop traffic under seeded fault injection; the pass
+    criterion is a balanced ledger and a clean transport drain."""
+    n = config["chaos_requests"]
+    rate = max(50.0, capacity * config["chaos_rate_frac"])
+    plan = request_plan(table, n, seed=43)
+    with ChaosMonkey(faults, seed=7, interval_s=0.01,
+                     ops=("point",)) as monkey:
+        report = run_open_loop_tcp(
+            handle.host, handle.port, plan,
+            ArrivalSchedule(rate, n, kind="poisson", seed=43),
+            connections=config["connections"],
+        )
+    server.recover()
+    ledger = _ledger(server)
+    return {
+        "offered_rate_rps": rate,
+        "outcomes": {
+            "ok": report["ok"], "shed": report["shed"],
+            "timeouts": report["timeouts"], "errors": report["errors"],
+        },
+        "latency": report["latency"],
+        "chaos": monkey.summary(),
+        "ledger": ledger,
+    }
+
+
+def measure(config) -> dict:
+    table = synth(config["n_rows"], config["n_dims"], config["card"], seed=3)
+    faults = ServingFaults()
+    server = QCServer(QCWarehouse(table, aggregate="count"),
+                      workers=4, cache_size=0, faults=faults)
+    handle = AsyncServerThread(server, port=0)
+    try:
+        plan = request_plan(table, config["n_requests"], seed=7)
+
+        # Phase 1: capacity probe — offered ≫ capacity, achieved
+        # throughput under shedding = service capacity.
+        probe = open_loop_point(handle, plan, config["probe_rate"], config,
+                                seed=11)
+        capacity = max(probe["throughput_rps"], 50.0)
+
+        # Phase 2: the latency-vs-offered-load curve.
+        fractions = (0.5, 0.9, 1.5)
+        curve = []
+        for i, frac in enumerate(fractions):
+            rate = round(capacity * frac, 1)
+            report = open_loop_point(handle, plan, rate, config,
+                                     seed=17 + i)
+            curve.append({
+                "offered_frac_of_capacity": frac,
+                "offered_rate_rps": rate,
+                "throughput_rps": report["throughput_rps"],
+                "ok": report["ok"], "shed": report["shed"],
+                "timeouts": report["timeouts"], "errors": report["errors"],
+                "send_lag": report["send_lag"],
+                "latency": report["latency"],
+                "families": _family_curve(report),
+            })
+        curve.append({
+            "offered_frac_of_capacity": None,
+            "offered_rate_rps": probe["offered_rate_rps"],
+            "throughput_rps": probe["throughput_rps"],
+            "ok": probe["ok"], "shed": probe["shed"],
+            "timeouts": probe["timeouts"], "errors": probe["errors"],
+            "send_lag": probe["send_lag"],
+            "latency": probe["latency"],
+            "families": _family_curve(probe),
+            "note": "capacity probe (offered >> capacity)",
+        })
+
+        # Phase 3: async ≡ sync parity.
+        parity = parity_phase(table, server, handle,
+                              config["parity_queries"])
+
+        # Phase 4: chaos under open-loop load.
+        chaos = chaos_phase(table, server, faults, handle, config, capacity)
+
+        transport = handle.door.describe()
+        steady_ledger = _ledger(server)
+    finally:
+        handle.close()
+        server.close()
+    return {
+        "benchmark": "async_open_loop_serving",
+        "config": dict(config),
+        "capacity_rps": capacity,
+        "curve": curve,
+        "parity": parity,
+        "chaos": chaos,
+        "transport": transport,
+        "ledger": steady_ledger,
+        "transport_drained_clean": handle.leftover_tasks == (),
+    }
+
+
+def report(results, out_path=OUT_PATH) -> None:
+    with open(out_path, "w") as fp:
+        json.dump(results, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    rows = [
+        [
+            point["offered_frac_of_capacity"] or "probe",
+            point["offered_rate_rps"],
+            point["throughput_rps"],
+            point["ok"], point["shed"], point["timeouts"],
+            point["latency"]["p50_us"],
+            point["latency"]["p99_us"],
+            point["latency"]["p999_us"],
+        ]
+        for point in results["curve"]
+    ]
+    print_table(
+        "Open-loop latency vs offered load (asyncio front door)",
+        ["load", "offered rps", "rps", "ok", "shed", "t/o",
+         "p50 µs", "p99 µs", "p999 µs"],
+        rows,
+        result_file="async_open_loop.txt",
+    )
+    print(f"capacity probe: {results['capacity_rps']:.0f} rps")
+    print(f"parity: {results['parity']['mismatches']} mismatches "
+          f"in {results['parity']['checked']} checked")
+    print(f"chaos ledger balanced: {results['chaos']['ledger']['balanced']}")
+
+
+def passed(results) -> bool:
+    return (
+        results["parity"]["mismatches"] == 0
+        and results["ledger"]["balanced"]
+        and results["chaos"]["ledger"]["balanced"]
+        and results["transport_drained_clean"]
+    )
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    quick = "--quick" in argv or _quick_from_env()
+    results = measure(QUICK if quick else FULL)
+    report(results)
+    print(f"wrote {os.path.abspath(OUT_PATH)}")
+    return 0 if passed(results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,8 +41,18 @@ snapshot (:class:`~repro.shard.server.ShardServer`) instead of GIL-bound
 threads; SIGTERM cleanup of ``/dev/shm`` segments is installed
 automatically.
 
+``serve --async --port N`` serves the same line protocol over TCP
+through the asyncio front door (:mod:`repro.serving.async_server`)
+instead of stdin — tens of thousands of connections, per-connection
+in-flight caps, early protocol-level load shedding, and ``@<seconds>``
+deadline budgets; stdin becomes a control channel (``quit``/EOF stops).
+
 ``bench-serve`` drives a closed-loop (or, with ``--rate``, open-loop)
 point-query workload through the server and prints a JSON report.
+``--open-loop --rate R`` instead drives a seeded Poisson/uniform arrival
+schedule over the asyncio TCP transport and measures latency from the
+*scheduled* send instant — free of coordinated omission
+(:mod:`repro.serving.arrivals`).
 ``--chaos`` runs the same mixed read/write workload under seeded fault
 injection (worker kills, write-pipeline crashes, op errors/stalls) with
 retrying clients, and reports what the fault-tolerance machinery did.
@@ -198,87 +208,32 @@ def cmd_dump(args) -> int:
     return 0
 
 
-def _coerce_record(warehouse, fields) -> tuple:
-    """CLI fields for an insert/delete record: measure positions (after
-    the dimensions) become floats when they parse as such."""
-    n_dims = warehouse.table.n_dims
-    record = list(fields[:n_dims])
-    for value in fields[n_dims:]:
-        try:
-            record.append(float(value))
-        except ValueError:
-            record.append(value)
-    return tuple(record)
-
-
 def _serve_dispatch(server, warehouse, line, out) -> bool:
-    """Handle one ``serve`` protocol line; False means quit."""
-    import json
+    """Handle one ``serve`` protocol line; False means quit.
 
-    parts = line.split(None, 1)
-    command, rest = parts[0], (parts[1].strip() if len(parts) > 1 else "")
-    if command in ("quit", "exit"):
+    Parsing and response framing come from
+    :mod:`repro.serving.protocol` — the same definition the asyncio TCP
+    front door speaks, so stdin and TCP sessions are interchangeable.
+    """
+    from repro.serving import protocol
+
+    parsed = protocol.parse_line(line, n_dims=warehouse.table.n_dims)
+    if parsed.kind == "quit":
         return False
-    if command == "stats":
-        print(json.dumps(server.stats(), sort_keys=True), file=out, flush=True)
-        return True
-    if command == "health":
-        # Served through the worker pool: a reply proves a live worker,
-        # not just a live control thread.
-        print(json.dumps(server.query("health"), sort_keys=True),
+    if parsed.kind == "stats":
+        print(protocol.format_response(parsed, server.stats()),
               file=out, flush=True)
         return True
-    if command in ("insert", "delete"):
-        record = _coerce_record(warehouse, parse_cell(rest))
-        getattr(server, command)([record])
-        print("OK", file=out, flush=True)
+    if parsed.kind == "write":
+        getattr(server, parsed.command)([parsed.args[0]])
+        print(protocol.format_response(parsed, None), file=out, flush=True)
         return True
-    if command == "point":
-        value = server.point(parse_cell(rest))
-        print("NULL" if value is None else value, file=out, flush=True)
-        return True
-    if command == "range":
-        results = server.range(parse_range(rest))
-        for cell, value in sorted(results.items()):
-            print(f"{','.join(map(str, cell))}\t{value}", file=out)
-        print(f"# {len(results)} cells", file=out, flush=True)
-        return True
-    if command == "iceberg":
-        fields = rest.split()
-        threshold = float(fields[0])
-        op = fields[1] if len(fields) > 1 else ">="
-        for ub, value in server.iceberg(threshold, op=op):
-            print(f"{','.join(map(str, ub))}\t{value}", file=out)
-        print("# end", file=out, flush=True)
-        return True
-    if command in ("rollup", "rollups", "drilldowns", "rollup_exceptions"):
-        views = server.query(command, parse_cell(rest))
-        for ub, value in views:
-            print(f"{','.join(map(str, ub))}\t{value}", file=out)
-        print(f"# {len(views)} classes", file=out, flush=True)
-        return True
-    if command == "class":
-        answer = server.query("class_of", parse_cell(rest))
-        if answer is None:
-            print("NULL", file=out, flush=True)
-        else:
-            ub, value = answer
-            print(f"{','.join(map(str, ub))}\t{value}", file=out, flush=True)
-        return True
-    if command == "open":
-        structure = server.query("open_class", parse_cell(rest))
-        print(json.dumps(
-            {
-                "upper_bound": list(structure["upper_bound"]),
-                "lower_bounds": [list(lb) for lb in
-                                 structure["lower_bounds"]],
-                "members": [list(m) for m in structure["members"]],
-                "value": structure["value"],
-            },
-            sort_keys=True,
-        ), file=out, flush=True)
-        return True
-    print(f"error: unknown command {command!r}", file=out, flush=True)
+    # Queries (health included) go through the worker pool: a reply
+    # proves a live worker, not just a live control thread.
+    value = server.submit(
+        parsed.op, *parsed.args, timeout=parsed.timeout, **parsed.kwargs
+    ).result()
+    print(protocol.format_response(parsed, value), file=out, flush=True)
     return True
 
 
@@ -325,12 +280,16 @@ def cmd_serve(args) -> int:
         else f"{stats['classes']} classes"
     )
     fleet = (f"{args.processes} processes, " if args.processes else "")
+    if getattr(args, "use_async", False):
+        return _serve_async(server, args, detail, fleet)
     print(
         f"serving {args.tree}: {detail}, "
         f"{fleet}{args.workers} workers, queue {args.queue_size} "
         f"(point/range/iceberg/rollup/…; 'quit' to stop)",
         file=sys.stderr,
     )
+    from repro.serving import protocol
+
     try:
         for raw_line in sys.stdin:
             line = raw_line.strip()
@@ -340,9 +299,56 @@ def cmd_serve(args) -> int:
                 if not _serve_dispatch(server, warehouse, line, sys.stdout):
                     break
             except ReproError as exc:
-                print(f"error: {exc}", file=sys.stdout, flush=True)
+                print(protocol.format_error(exc), file=sys.stdout, flush=True)
     finally:
         server.close()
+    return 0
+
+
+def _serve_async(server, args, detail: str, fleet: str) -> int:
+    """``serve --async``: the asyncio TCP front door in the foreground.
+
+    The listener runs in a dedicated loop thread
+    (:class:`~repro.serving.async_server.AsyncServerThread`); stdin
+    stays a control channel — EOF or a ``quit`` line drains the
+    transport and shuts the server down.
+    """
+    from repro.serving.async_server import AsyncServerThread
+
+    try:
+        handle = AsyncServerThread(
+            server, host=args.host, port=args.port,
+            max_connections=args.max_connections,
+            max_inflight=args.max_inflight,
+            default_timeout=args.timeout,
+        )
+    except BaseException:
+        server.close()
+        raise
+    print(
+        f"serving {args.tree} on {handle.host}:{handle.port} (async): "
+        f"{detail}, {fleet}{args.workers} workers, "
+        f"queue {args.queue_size}, "
+        f"max {args.max_connections} connections × "
+        f"{args.max_inflight} in flight "
+        f"('quit' or EOF on stdin to stop)",
+        file=sys.stderr,
+    )
+    try:
+        for raw_line in sys.stdin:
+            if raw_line.strip() in ("quit", "exit"):
+                break
+    except KeyboardInterrupt:
+        pass
+    finally:
+        handle.close()
+        server.close()
+    if handle.leftover_tasks:  # pragma: no cover - defensive
+        print(
+            f"error: {len(handle.leftover_tasks)} asyncio tasks survived "
+            f"the drain", file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -370,44 +376,78 @@ def cmd_bench_serve(args) -> int:
         getattr(warehouse, "close", lambda: None)()
         raise
     with server:
-        if args.chaos and not args.stall_us:
-            # Stretch the run so the injection stream actually lands;
-            # an unstalled in-memory workload outruns the monkey.
-            args.stall_us = 500.0
-        if args.stall_us:
-            op = register_stalled_point(server, args.stall_us / 1e6)
-            requests = [(op, a) for _, a in requests]
-        if args.chaos:
-            # Mixed read/write workload under seeded fault injection:
-            # retrying clients against killed workers, crashed write
-            # phases, and injected op errors/stalls.
-            record = next(sample_table.iter_records())
-            batches = [("insert", [record]), ("delete", [record])]
-            retry = RetryPolicy()
-            ops = ("point_stall",) if args.stall_us else ("point",)
-            with ChaosMonkey(faults, seed=args.chaos_seed,
-                             interval_s=0.005, ops=ops) as monkey:
-                result = run_mixed(
-                    server, requests, clients=args.clients,
-                    write_batches=batches * max(args.writes, 4),
-                    timeout=args.timeout, retry=retry,
-                    tolerate_write_errors=True,
+        if args.open_loop:
+            # True open-loop over the asyncio TCP front door: seeded
+            # arrival schedule fixed up front, latency measured from the
+            # scheduled send instant (coordinated-omission-free).
+            if not args.rate:
+                raise ReproError("--open-loop requires --rate")
+            from repro.serving.arrivals import (
+                ArrivalSchedule,
+                request_plan,
+                run_open_loop_tcp,
+            )
+            from repro.serving.async_server import AsyncServerThread
+
+            plan = request_plan(sample_table, args.requests, seed=7)
+            schedule = ArrivalSchedule(
+                args.rate, args.requests, kind=args.arrival,
+                seed=args.arrival_seed,
+            )
+            handle = AsyncServerThread(server, port=0)
+            try:
+                result = run_open_loop_tcp(
+                    handle.host, handle.port, plan, schedule,
+                    connections=args.connections, warmup=8,
                 )
-            server.recover()  # clear any degraded state the monkey left
-            result["chaos"] = monkey.summary()
-        elif args.rate:
-            result = run_open_loop(server, requests, args.rate,
-                                   timeout=args.timeout)
-        elif args.writes:
-            record = next(sample_table.iter_records())
-            batches = [("insert", [record]), ("delete", [record])]
-            result = run_mixed(server, requests, clients=args.clients,
-                               write_batches=batches * args.writes,
-                               timeout=args.timeout)
+                result["transport"] = handle.door.describe()
+            finally:
+                handle.close()
+            if handle.leftover_tasks:  # pragma: no cover - defensive
+                raise ReproError(
+                    f"{len(handle.leftover_tasks)} asyncio tasks "
+                    f"survived the transport drain"
+                )
         else:
-            result = run_closed_loop(server, requests,
-                                     clients=args.clients,
-                                     timeout=args.timeout)
+            if args.chaos and not args.stall_us:
+                # Stretch the run so the injection stream actually
+                # lands; an unstalled in-memory workload outruns the
+                # monkey.
+                args.stall_us = 500.0
+            if args.stall_us:
+                op = register_stalled_point(server, args.stall_us / 1e6)
+                requests = [(op, a) for _, a in requests]
+            if args.chaos:
+                # Mixed read/write workload under seeded fault
+                # injection: retrying clients against killed workers,
+                # crashed write phases, and injected op errors/stalls.
+                record = next(sample_table.iter_records())
+                batches = [("insert", [record]), ("delete", [record])]
+                retry = RetryPolicy()
+                ops = ("point_stall",) if args.stall_us else ("point",)
+                with ChaosMonkey(faults, seed=args.chaos_seed,
+                                 interval_s=0.005, ops=ops) as monkey:
+                    result = run_mixed(
+                        server, requests, clients=args.clients,
+                        write_batches=batches * max(args.writes, 4),
+                        timeout=args.timeout, retry=retry,
+                        tolerate_write_errors=True,
+                    )
+                server.recover()  # clear degraded state the monkey left
+                result["chaos"] = monkey.summary()
+            elif args.rate:
+                result = run_open_loop(server, requests, args.rate,
+                                       timeout=args.timeout)
+            elif args.writes:
+                record = next(sample_table.iter_records())
+                batches = [("insert", [record]), ("delete", [record])]
+                result = run_mixed(server, requests, clients=args.clients,
+                                   write_batches=batches * args.writes,
+                                   timeout=args.timeout)
+            else:
+                result = run_closed_loop(server, requests,
+                                         clients=args.clients,
+                                         timeout=args.timeout)
         result["server"] = server.stats()
         counters = result["server"]["counters"]
         result["ledger_ok"] = (
@@ -522,11 +562,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = with_server(sub.add_parser(
         "serve",
-        help="serve queries over stdin/stdout through a QCServer",
+        help="serve queries over stdin/stdout through a QCServer, or "
+             "over TCP with --async",
     ))
     p_serve.add_argument("--cache-size", type=int, default=4096,
                          help="LSN-stamped result cache entries (default "
                               "4096; 0 disables)")
+    p_serve.add_argument("--async", dest="use_async", action="store_true",
+                         help="serve the line protocol over TCP through "
+                              "the asyncio front door instead of stdin "
+                              "(stdin becomes a control channel: 'quit' "
+                              "or EOF stops the server)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="listen address for --async "
+                              "(default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="listen port for --async (default 0 = "
+                              "ephemeral; the bound port is printed)")
+    p_serve.add_argument("--max-connections", type=int, default=10_000,
+                         help="concurrent TCP session cap for --async "
+                              "(default 10000); beyond it connections "
+                              "get one rejection line and are closed")
+    p_serve.add_argument("--max-inflight", type=int, default=32,
+                         help="per-connection admitted-but-unanswered "
+                              "request cap for --async (default 32); at "
+                              "the cap the socket stops being read (TCP "
+                              "backpressure)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_bench = with_server(sub.add_parser(
@@ -541,6 +602,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--rate", type=float, default=None,
                          help="open-loop arrival rate in req/s "
                               "(default: closed loop)")
+    p_bench.add_argument("--open-loop", action="store_true",
+                         help="drive the workload over the asyncio TCP "
+                              "front door on a seeded open-loop arrival "
+                              "schedule (coordinated-omission-free; "
+                              "requires --rate); reports latency from "
+                              "the scheduled send instant per op family")
+    p_bench.add_argument("--arrival", default="poisson",
+                         choices=["poisson", "uniform"],
+                         help="open-loop inter-arrival process "
+                              "(default poisson)")
+    p_bench.add_argument("--arrival-seed", type=int, default=0,
+                         help="arrival schedule seed (default 0)")
+    p_bench.add_argument("--connections", type=int, default=4,
+                         help="open-loop client connections (default 4)")
     p_bench.add_argument("--stall-us", type=float, default=0.0,
                          help="simulated per-request downstream I/O stall "
                               "in microseconds (default 0)")

@@ -20,15 +20,31 @@ and the admission :class:`~repro.serving.health.CircuitBreaker`
 (:mod:`~repro.serving.health`), client-side retry for idempotent reads
 (:mod:`~repro.serving.retry`), and deterministic serving-layer fault
 injection in :class:`~repro.reliability.faults.ServingFaults`.
+
+The network front door is asyncio: :class:`AsyncQCServer`
+(:mod:`~repro.serving.async_server`) speaks the shared line protocol
+(:mod:`~repro.serving.protocol`) over TCP, bridging each request into
+``QCServer.submit()`` futures with end-to-end backpressure, and the
+coordinated-omission-free open-loop load harness lives in
+:mod:`~repro.serving.arrivals`.
 """
 
 from repro.serving.admission import TIMEOUT, AdmissionQueue, Request
+from repro.serving.arrivals import (
+    ArrivalSchedule,
+    open_loop_run,
+    request_plan,
+    run_open_loop_tcp,
+)
+from repro.serving.async_server import AsyncQCServer, AsyncServerThread
 from repro.serving.health import CircuitBreaker, health_report
 from repro.serving.metrics import LatencyHistogram, ServerMetrics
+from repro.serving.protocol import LineClient, parse_line, response_complete
 from repro.serving.retry import RETRYABLE, RetryPolicy
 from repro.serving.server import QCServer
 from repro.serving.snapshot import ServingSnapshot
 from repro.serving.workload import (
+    latency_summary,
     register_stalled_point,
     run_closed_loop,
     run_mixed,
@@ -37,8 +53,12 @@ from repro.serving.workload import (
 
 __all__ = [
     "AdmissionQueue",
+    "ArrivalSchedule",
+    "AsyncQCServer",
+    "AsyncServerThread",
     "CircuitBreaker",
     "LatencyHistogram",
+    "LineClient",
     "QCServer",
     "RETRYABLE",
     "Request",
@@ -47,8 +67,14 @@ __all__ = [
     "ServingSnapshot",
     "TIMEOUT",
     "health_report",
+    "latency_summary",
+    "open_loop_run",
+    "parse_line",
     "register_stalled_point",
+    "request_plan",
+    "response_complete",
     "run_closed_loop",
     "run_mixed",
     "run_open_loop",
+    "run_open_loop_tcp",
 ]

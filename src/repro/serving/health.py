@@ -253,4 +253,15 @@ def health_report(server) -> dict:
         if live and shard["processes_alive"] == 0 and status == "ok":
             report["status"] = "degraded"
             report["ready"] = False
+    # Registered front-door transports (e.g. the asyncio TCP listener)
+    # gate readiness: a server whose listener stopped accepting is not
+    # worth routing traffic to, even though the worker pool is healthy.
+    transports = getattr(server, "transports", ())
+    if transports:
+        descriptions = [t.describe() for t in transports]
+        report["transports"] = descriptions
+        if report["ready"] and not all(t.ready for t in transports):
+            report["ready"] = False
+            if report["status"] == "ok":
+                report["status"] = "degraded"
     return report

@@ -113,6 +113,7 @@ class LatencyHistogram:
             "p50_us": round(self.percentile(50), 3),
             "p90_us": round(self.percentile(90), 3),
             "p99_us": round(self.percentile(99), 3),
+            "p999_us": round(self.percentile(99.9), 3),
             "max_us": round(max_us, 3),
         }
 

@@ -227,6 +227,10 @@ class QCServer:
         self._write_degraded = False
         self._degraded_reason: Optional[dict] = None
         self.last_write_error: Optional[dict] = None
+        # Front-door transports (e.g. the asyncio TCP listener) register
+        # here so stats()/health reflect the full serving surface.
+        self._transports: list = []
+        self._transport_lock = threading.Lock()
         self._snapshot = self._build_snapshot()
         # Worker pool + supervisor.  The worker list is mutated by the
         # supervisor on respawn, so every access is under the lock.
@@ -931,6 +935,30 @@ class QCServer:
     def closed(self) -> bool:
         return self._closed
 
+    # -- transports ----------------------------------------------------------
+
+    def register_transport(self, transport) -> None:
+        """Attach a front-door transport (must expose ``describe()`` and
+        a boolean ``ready``); it then shows up in stats and gates health
+        readiness until unregistered."""
+        with self._transport_lock:
+            if transport not in self._transports:
+                self._transports.append(transport)
+
+    def unregister_transport(self, transport) -> None:
+        """Detach a front-door transport (idempotent)."""
+        with self._transport_lock:
+            try:
+                self._transports.remove(transport)
+            except ValueError:
+                pass
+
+    @property
+    def transports(self) -> tuple:
+        """The currently registered front-door transports."""
+        with self._transport_lock:
+            return tuple(self._transports)
+
     def stats(self) -> dict:
         """Operational readout: counters, per-op latency histograms,
         queue depth, worker/supervisor health, snapshot identity,
@@ -971,6 +999,9 @@ class QCServer:
         shard_health = getattr(self, "shard_health", None)
         if shard_health is not None:
             stats["shard"] = shard_health()
+        transports = self.transports
+        if transports:
+            stats["transports"] = [t.describe() for t in transports]
         stats["closed"] = self._closed
         return stats
 

@@ -330,6 +330,27 @@ class ShardServer(QCServer):
         and from the supervisor thread on respawn (where the fork-with-
         threads DeprecationWarning of newer Pythons is expected and
         harmless: the child only runs already-imported code)."""
+        # Async-transport fork safety: the asyncio front door runs its
+        # event loop in a ``*-loop`` thread (AsyncServerThread).  Forking
+        # while that loop is mid-write could duplicate its socket state
+        # into the child were the child ever to touch it; our workers
+        # never do (they run worker_main on a fresh Pipe and shared
+        # memory only), but a respawn under a live transport is worth a
+        # visible warning so operators start transports *after* the
+        # fleet, as `serve --async` does.
+        loop_threads = [
+            t.name for t in threading.enumerate()
+            if t.is_alive() and t.name.endswith("-loop")
+        ]
+        if loop_threads:
+            warnings.warn(
+                f"forking shard worker {slot} while async transport "
+                f"loop thread(s) {loop_threads} are running; the child "
+                f"does not inherit the listener, but prefer starting "
+                f"transports after the process fleet",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         lsn, _ = self._stamp
         with warnings.catch_warnings():
